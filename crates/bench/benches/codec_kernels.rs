@@ -1,0 +1,112 @@
+//! The codec's hot kernels in isolation: the MQ coder, Tier-1 bit-plane
+//! coding and the wavelet lifting — the pieces whose software cost
+//! motivates the paper's hardware/software partitioning.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jpeg2000::dwt::{fdwt53_2d, fdwt97_2d, idwt53_2d, idwt97_2d};
+use jpeg2000::mq::{MqContext, MqDecoder, MqEncoder};
+use jpeg2000::t1::{decode_block, encode_block};
+use jpeg2000::tile::BandKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_mq(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let bits: Vec<bool> = (0..100_000).map(|_| rng.gen_bool(0.2)).collect();
+    let mut group = c.benchmark_group("mq_coder");
+    group.throughput(Throughput::Elements(bits.len() as u64));
+    group.bench_function("encode_100k_bits", |b| {
+        b.iter(|| {
+            let mut cx = MqContext::default();
+            let mut enc = MqEncoder::new();
+            for &bit in &bits {
+                enc.encode(&mut cx, bit);
+            }
+            enc.finish()
+        })
+    });
+    let bytes = {
+        let mut cx = MqContext::default();
+        let mut enc = MqEncoder::new();
+        for &bit in &bits {
+            enc.encode(&mut cx, bit);
+        }
+        enc.finish()
+    };
+    group.bench_function("decode_100k_bits", |b| {
+        b.iter(|| {
+            let mut cx = MqContext::default();
+            let mut dec = MqDecoder::new(&bytes);
+            let mut ones = 0u32;
+            for _ in 0..bits.len() {
+                ones += dec.decode(&mut cx) as u32;
+            }
+            ones
+        })
+    });
+    group.finish();
+}
+
+fn bench_t1(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (w, h) = (64, 64);
+    let mags: Vec<u32> = (0..w * h)
+        .map(|_| if rng.gen_bool(0.7) { 0 } else { rng.gen_range(1..512) })
+        .collect();
+    let negative: Vec<bool> = (0..w * h).map(|_| rng.gen_bool(0.5)).collect();
+    let mut group = c.benchmark_group("t1_codeblock_64x64");
+    group.throughput(Throughput::Elements((w * h) as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| encode_block(&mags, &negative, w, h, BandKind::Hl))
+    });
+    let enc = encode_block(&mags, &negative, w, h, BandKind::Hl);
+    group.bench_function("decode", |b| {
+        b.iter(|| decode_block(&enc.data, w, h, BandKind::Hl, enc.num_passes))
+    });
+    group.finish();
+}
+
+fn bench_dwt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 256;
+    let tile_i: Vec<i32> = (0..n * n).map(|_| rng.gen_range(-128..128)).collect();
+    let tile_f: Vec<f64> = tile_i.iter().map(|&v| v as f64).collect();
+    let mut group = c.benchmark_group("dwt_256x256_l3");
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.bench_function("fdwt53", |b| {
+        b.iter(|| {
+            let mut buf = tile_i.clone();
+            fdwt53_2d(&mut buf, n, n, 3);
+            buf
+        })
+    });
+    group.bench_function("idwt53", |b| {
+        let mut fwd = tile_i.clone();
+        fdwt53_2d(&mut fwd, n, n, 3);
+        b.iter(|| {
+            let mut buf = fwd.clone();
+            idwt53_2d(&mut buf, n, n, 3);
+            buf
+        })
+    });
+    group.bench_function("fdwt97", |b| {
+        b.iter(|| {
+            let mut buf = tile_f.clone();
+            fdwt97_2d(&mut buf, n, n, 3);
+            buf
+        })
+    });
+    group.bench_function("idwt97", |b| {
+        let mut fwd = tile_f.clone();
+        fdwt97_2d(&mut fwd, n, n, 3);
+        b.iter(|| {
+            let mut buf = fwd.clone();
+            idwt97_2d(&mut buf, n, n, 3);
+            buf
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mq, bench_t1, bench_dwt);
+criterion_main!(benches);

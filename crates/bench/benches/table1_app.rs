@@ -1,0 +1,32 @@
+//! Table 1, Application-Layer rows: wall-clock cost of simulating each
+//! model version (the *simulated* times are printed by the
+//! `table1_simulation` binary; this bench tracks the simulator itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jpeg2000_models::{run_version, ModeSel, VersionId};
+
+fn bench_app_versions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_app");
+    group.sample_size(10);
+    for version in [
+        VersionId::V1,
+        VersionId::V2,
+        VersionId::V3,
+        VersionId::V4,
+        VersionId::V5,
+    ] {
+        for mode in ModeSel::ALL {
+            group.bench_function(format!("v{version}_{mode}"), |b| {
+                b.iter(|| {
+                    let r = run_version(version, mode).expect("simulation");
+                    assert!(r.functional_ok);
+                    r.decode_time
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_app_versions);
+criterion_main!(benches);

@@ -1,0 +1,284 @@
+//! Ergonomic builders for the IR — this is the crate's "synthesisable
+//! SystemC subset" frontend: design descriptions are Rust code built with
+//! these helpers, playing the role OSSS/SystemC source plays for FOSSY.
+
+use crate::ir::{
+    BinOp, Dir, Entity, Expr, Function, MemoryDecl, Port, Process, SignalDecl, State, Stmt, Ty,
+};
+
+/// Shorthand constructors for expressions.
+pub mod e {
+    use super::*;
+
+    /// A literal of the given width.
+    pub fn c(v: i64, w: u32) -> Expr {
+        Expr::Const(v, w)
+    }
+
+    /// A variable reference.
+    pub fn v(name: &str, w: u32) -> Expr {
+        Expr::Var(name.to_string(), w)
+    }
+
+    /// Addition.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// Subtraction.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+
+    /// Multiplication.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// Arithmetic shift right by a constant.
+    pub fn shr(a: Expr, bits: i64) -> Expr {
+        let w = 8;
+        Expr::Bin(BinOp::Shr, Box::new(a), Box::new(c(bits, w)))
+    }
+
+    /// Shift left by a constant.
+    pub fn shl(a: Expr, bits: i64) -> Expr {
+        let w = 8;
+        Expr::Bin(BinOp::Shl, Box::new(a), Box::new(c(bits, w)))
+    }
+
+    /// Less-than.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Lt, Box::new(a), Box::new(b))
+    }
+
+    /// Equality.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Eq, Box::new(a), Box::new(b))
+    }
+
+    /// Function call.
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.to_string(), args)
+    }
+
+    /// Memory read.
+    pub fn mem(name: &str, idx: Expr, w: u32) -> Expr {
+        Expr::MemRead(name.to_string(), Box::new(idx), w)
+    }
+}
+
+/// Shorthand constructors for statements.
+pub mod s {
+    use super::*;
+
+    /// Assignment.
+    pub fn assign(target: &str, value: Expr) -> Stmt {
+        Stmt::Assign {
+            target: target.to_string(),
+            value,
+        }
+    }
+
+    /// Memory write.
+    pub fn store(mem: &str, index: Expr, value: Expr) -> Stmt {
+        Stmt::MemWrite {
+            mem: mem.to_string(),
+            index,
+            value,
+        }
+    }
+
+    /// Two-armed conditional.
+    pub fn if_(cond: Expr, then_: Vec<Stmt>, else_: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then_, else_ }
+    }
+
+    /// State transition.
+    pub fn goto(state: &str) -> Stmt {
+        Stmt::Goto(state.to_string())
+    }
+}
+
+/// Builds one [`Entity`] fluently.
+#[derive(Debug, Default)]
+pub struct EntityBuilder {
+    entity: Entity,
+}
+
+impl EntityBuilder {
+    /// Starts an entity.
+    pub fn new(name: &str) -> Self {
+        EntityBuilder {
+            entity: Entity {
+                name: name.to_string(),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Adds an input port.
+    pub fn input(mut self, name: &str, ty: Ty) -> Self {
+        self.entity.ports.push(Port {
+            name: name.to_string(),
+            dir: Dir::In,
+            ty,
+        });
+        self
+    }
+
+    /// Adds an output port.
+    pub fn output(mut self, name: &str, ty: Ty) -> Self {
+        self.entity.ports.push(Port {
+            name: name.to_string(),
+            dir: Dir::Out,
+            ty,
+        });
+        self
+    }
+
+    /// Adds an internal signal.
+    pub fn signal(mut self, name: &str, ty: Ty) -> Self {
+        self.entity.signals.push(SignalDecl {
+            name: name.to_string(),
+            ty,
+        });
+        self
+    }
+
+    /// Adds a block-RAM memory.
+    pub fn memory(mut self, name: &str, words: u32, width: u32) -> Self {
+        self.entity.memories.push(MemoryDecl {
+            name: name.to_string(),
+            words,
+            width,
+        });
+        self
+    }
+
+    /// Adds a synthesisable function.
+    pub fn function(
+        mut self,
+        name: &str,
+        params: &[(&str, Ty)],
+        ret: Ty,
+        body: Vec<Stmt>,
+        locals: &[(&str, Ty)],
+        result: Expr,
+    ) -> Self {
+        self.entity.functions.push(Function {
+            name: name.to_string(),
+            params: params
+                .iter()
+                .map(|(n, t)| (n.to_string(), *t))
+                .collect(),
+            ret,
+            locals: locals
+                .iter()
+                .map(|(n, t)| (n.to_string(), *t))
+                .collect(),
+            body,
+            result,
+        });
+        self
+    }
+
+    /// Adds a free-running clocked process (pipeline stage).
+    pub fn clocked(mut self, name: &str, stmts: Vec<Stmt>) -> Self {
+        self.entity.processes.push(Process::Clocked {
+            name: name.to_string(),
+            stmts,
+        });
+        self
+    }
+
+    /// Adds an FSM process; `states` pairs `(name, stmts)`, first state is
+    /// the reset state.
+    pub fn fsm(mut self, name: &str, states: Vec<(&str, Vec<Stmt>)>) -> Self {
+        self.entity.processes.push(Process::Fsm {
+            name: name.to_string(),
+            states: states
+                .into_iter()
+                .map(|(n, stmts)| State {
+                    name: n.to_string(),
+                    stmts,
+                })
+                .collect(),
+        });
+        self
+    }
+
+    /// Validates and returns the entity.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the validation message if the entity is inconsistent —
+    /// builder misuse is a programming error in the design description.
+    pub fn build(self) -> Entity {
+        if let Err(msg) = self.entity.validate() {
+            panic!("invalid entity `{}`: {msg}", self.entity.name);
+        }
+        self.entity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_valid_entity() {
+        let ent = EntityBuilder::new("acc")
+            .input("clk", Ty::Bit)
+            .input("din", Ty::Signed(16))
+            .output("dout", Ty::Signed(16))
+            .signal("sum", Ty::Signed(16))
+            .clocked(
+                "accumulate",
+                vec![s::assign("sum", e::add(e::v("sum", 16), e::v("din", 16)))],
+            )
+            .build();
+        assert_eq!(ent.name, "acc");
+        assert_eq!(ent.ports.len(), 3);
+        assert_eq!(ent.processes.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid entity")]
+    fn builder_rejects_bad_goto() {
+        let _ = EntityBuilder::new("bad")
+            .fsm("f", vec![("s0", vec![s::goto("missing")])])
+            .build();
+    }
+
+    #[test]
+    fn expression_helpers_compose() {
+        use std::collections::BTreeMap;
+        let funcs = BTreeMap::new();
+        let expr = e::add(e::mul(e::v("a", 8), e::v("b", 8)), e::c(3, 16));
+        assert_eq!(expr.width(&funcs), 16);
+        let shifted = e::shr(e::v("x", 16), 2);
+        assert_eq!(shifted.width(&funcs), 16);
+    }
+
+    #[test]
+    fn fsm_builder_preserves_state_order() {
+        let ent = EntityBuilder::new("fsm_ent")
+            .signal("x", Ty::Unsigned(4))
+            .fsm(
+                "ctrl",
+                vec![
+                    ("idle", vec![s::goto("run")]),
+                    ("run", vec![s::assign("x", e::c(1, 4)), s::goto("idle")]),
+                ],
+            )
+            .build();
+        match &ent.processes[0] {
+            Process::Fsm { states, .. } => {
+                assert_eq!(states[0].name, "idle");
+                assert_eq!(states[1].name, "run");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! VHDL testbench generation: clock/reset scaffolding, stimulus
+//! application and expected-value checks for a synthesised entity.
+//!
+//! A real FOSSY flow hands the generated VHDL to an RTL simulator; this
+//! emitter produces the self-checking bench that accompanies it. The
+//! expected values come from the IR interpreter, so the bench encodes the
+//! *verified* behaviour of the design.
+
+use std::fmt::Write as _;
+
+use crate::interp::Interp;
+use crate::ir::{Dir, Entity, Ty};
+
+/// One stimulus step: inputs to apply, then one clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Step {
+    /// `(input port, value)` assignments before the edge.
+    pub inputs: Vec<(String, i64)>,
+}
+
+/// Generates a self-checking VHDL testbench for `entity`.
+///
+/// The bench instantiates the entity, drives the given stimulus and,
+/// after each cycle, asserts the output values the IR interpreter
+/// computed for the same stimulus.
+pub fn emit_testbench(entity: &Entity, steps: &[Step]) -> String {
+    // Compute expected outputs with the interpreter.
+    let mut it = Interp::new(entity);
+    let outputs: Vec<(String, Ty)> = entity
+        .ports
+        .iter()
+        .filter(|p| p.dir == Dir::Out)
+        .map(|p| (p.name.clone(), p.ty))
+        .collect();
+    let mut expected: Vec<Vec<i64>> = Vec::with_capacity(steps.len());
+    for step in steps {
+        for (name, v) in &step.inputs {
+            it.set_input(name, *v);
+        }
+        it.step();
+        expected.push(outputs.iter().map(|(n, _)| it.get(n)).collect());
+    }
+
+    let mut w = String::new();
+    let name = &entity.name;
+    let _ = writeln!(w, "library ieee;");
+    let _ = writeln!(w, "use ieee.std_logic_1164.all;");
+    let _ = writeln!(w, "use ieee.numeric_std.all;");
+    let _ = writeln!(w);
+    let _ = writeln!(w, "entity {name}_tb is");
+    let _ = writeln!(w, "end entity {name}_tb;");
+    let _ = writeln!(w);
+    let _ = writeln!(w, "architecture bench of {name}_tb is");
+    let _ = writeln!(w, "  signal clk : std_logic := '0';");
+    let _ = writeln!(w, "  signal rst : std_logic := '1';");
+    for p in &entity.ports {
+        let _ = writeln!(
+            w,
+            "  signal {} : {}{};",
+            p.name,
+            p.ty.vhdl(),
+            if p.ty == Ty::Bit { " := '0'" } else { " := (others => '0')" }
+        );
+    }
+    let _ = writeln!(w, "begin");
+    let _ = writeln!(w, "  clk <= not clk after 5 ns; -- 100 MHz");
+    let _ = writeln!(w);
+    let _ = writeln!(w, "  dut : entity work.{name}");
+    let _ = writeln!(w, "    port map (");
+    let _ = write!(w, "      clk => clk,\n      rst => rst");
+    for p in &entity.ports {
+        let _ = write!(w, ",\n      {} => {}", p.name, p.name);
+    }
+    let _ = writeln!(w, "\n    );");
+    let _ = writeln!(w);
+    let _ = writeln!(w, "  stimulus : process");
+    let _ = writeln!(w, "  begin");
+    let _ = writeln!(w, "    rst <= '1';");
+    let _ = writeln!(w, "    wait until rising_edge(clk);");
+    let _ = writeln!(w, "    rst <= '0';");
+    for (i, step) in steps.iter().enumerate() {
+        for (port, v) in &step.inputs {
+            let ty = entity
+                .ports
+                .iter()
+                .find(|p| &p.name == port)
+                .map(|p| p.ty)
+                .unwrap_or(Ty::Bit);
+            match ty {
+                Ty::Bit => {
+                    let _ = writeln!(w, "    {port} <= '{}';", if *v != 0 { 1 } else { 0 });
+                }
+                Ty::Unsigned(width) => {
+                    let _ = writeln!(w, "    {port} <= to_unsigned({v}, {width});");
+                }
+                Ty::Signed(width) => {
+                    let _ = writeln!(w, "    {port} <= to_signed({v}, {width});");
+                }
+            }
+        }
+        let _ = writeln!(w, "    wait until rising_edge(clk);");
+        let _ = writeln!(w, "    wait for 1 ns; -- settle");
+        for ((out, ty), exp) in outputs.iter().zip(&expected[i]) {
+            let check = match ty {
+                Ty::Bit => format!("{out} = '{}'", if *exp != 0 { 1 } else { 0 }),
+                Ty::Unsigned(width) => format!("{out} = to_unsigned({exp}, {width})"),
+                Ty::Signed(width) => format!("{out} = to_signed({exp}, {width})"),
+            };
+            let _ = writeln!(
+                w,
+                "    assert {check}\n      report \"cycle {i}: {out} mismatch\" severity error;"
+            );
+        }
+    }
+    let _ = writeln!(w, "    report \"{name}_tb finished\" severity note;");
+    let _ = writeln!(w, "    wait;");
+    let _ = writeln!(w, "  end process stimulus;");
+    let _ = writeln!(w, "end architecture bench;");
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{e, s, EntityBuilder};
+    use crate::emit::vhdl::structural_check;
+
+    fn counter() -> Entity {
+        EntityBuilder::new("cnt")
+            .input("enable", Ty::Bit)
+            .output("count", Ty::Unsigned(8))
+            .clocked(
+                "tick",
+                vec![s::if_(
+                    e::eq(e::v("enable", 1), e::c(1, 1)),
+                    vec![s::assign("count", e::add(e::v("count", 8), e::c(1, 8)))],
+                    vec![],
+                )],
+            )
+            .build()
+    }
+
+    #[test]
+    fn bench_contains_interpreter_expectations() {
+        let ent = counter();
+        let steps: Vec<Step> = (0..4)
+            .map(|i| Step {
+                inputs: vec![("enable".to_string(), (i % 2 == 0) as i64)],
+            })
+            .collect();
+        let bench = emit_testbench(&ent, &steps);
+        assert!(bench.contains("entity cnt_tb is"));
+        assert!(bench.contains("dut : entity work.cnt"));
+        // Enabled on cycles 0 and 2: counts 1, 1, 2, 2.
+        assert!(bench.contains("to_unsigned(1, 8)"));
+        assert!(bench.contains("to_unsigned(2, 8)"));
+        assert!(bench.contains("report \"cnt_tb finished\""));
+        // Balanced constructs (the full structural check targets RTL
+        // entities, not sensitivity-list-free benches).
+        assert_eq!(bench.matches('(').count(), bench.matches(')').count());
+        assert_eq!(
+            bench.matches("process").count(),
+            bench.matches("end process").count() * 2,
+            "one process, one end process"
+        );
+        let _ = structural_check; // the full check targets RTL entities
+    }
+
+    #[test]
+    fn bench_for_idwt_core_is_generated() {
+        let ent = crate::idwt::idwt53_1d_core();
+        let steps = vec![
+            Step {
+                inputs: vec![
+                    ("n_low".to_string(), 4),
+                    ("n_high".to_string(), 4),
+                    ("start".to_string(), 1),
+                ],
+            },
+            Step { inputs: vec![] },
+            Step { inputs: vec![] },
+        ];
+        let bench = emit_testbench(&ent, &steps);
+        assert!(bench.contains("idwt53_1d_core_tb"));
+        assert!(bench.contains("n_low => n_low"));
+        // Balanced parens at minimum.
+        assert_eq!(bench.matches('(').count(), bench.matches(')').count());
+    }
+}

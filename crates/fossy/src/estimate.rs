@@ -1,0 +1,478 @@
+//! Virtex-4 resource and timing estimation.
+//!
+//! Substitutes for the Xilinx ISE/XST run of the paper's Table 2: maps the
+//! IR onto 4-input LUTs, slice flip-flops, occupied slices (2 LUT + 2 FF
+//! per Virtex-4 slice with a packing factor), block RAMs, an equivalent
+//! gate count, and an fmax estimate from the deepest combinational path.
+//! Absolute numbers are a model; the FOSSY-vs-reference *ratios* are what
+//! the reproduction reports.
+
+use std::collections::BTreeMap;
+
+use crate::ir::{stmt_depth, BinOp, Entity, Expr, Function, Process, Stmt};
+
+/// A Virtex-4 device capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Virtex4 {
+    /// Total slices.
+    pub slices: u32,
+    /// Total 4-input LUTs.
+    pub luts: u32,
+    /// Total slice flip-flops.
+    pub ffs: u32,
+    /// Total 18-kbit block RAMs.
+    pub brams: u32,
+}
+
+impl Virtex4 {
+    /// The case study's XC4VLX25 device.
+    pub fn lx25() -> Self {
+        Virtex4 {
+            slices: 10_752,
+            luts: 21_504,
+            ffs: 21_504,
+            brams: 72,
+        }
+    }
+}
+
+/// Estimated resources of one entity — the Table 2 row shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceReport {
+    /// Slice flip-flops.
+    pub ffs: u32,
+    /// 4-input LUTs.
+    pub luts: u32,
+    /// Occupied slices.
+    pub slices: u32,
+    /// 18-kbit block RAMs.
+    pub brams: u32,
+    /// Total equivalent gate count.
+    pub gates: u64,
+    /// Estimated maximum clock frequency in MHz.
+    pub fmax_mhz: f64,
+    /// Device utilisation (occupied slices / device slices).
+    pub utilisation: f64,
+}
+
+/// Per-LUT-level delay model (logic + average route), nanoseconds.
+const LEVEL_DELAY_NS: f64 = 0.55;
+/// Clock-to-out plus setup plus clock routing overhead, nanoseconds.
+const SEQUENTIAL_OVERHEAD_NS: f64 = 1.50;
+/// Slice packing inefficiency.
+const PACKING_FACTOR: f64 = 1.15;
+
+/// Estimates `entity` against `device`.
+///
+/// Call after inlining: `Expr::Call` sites are charged as if inlined
+/// (shared-function hardware would be *cheaper*, which is exactly the
+/// difference hand-optimised reference designs exploit).
+pub fn estimate_entity(entity: &Entity, device: &Virtex4) -> ResourceReport {
+    let funcs = entity.function_map();
+    let mut luts: u64 = 0;
+    let mut ffs: u64 = 0;
+    let mut max_depth: u32 = 0;
+
+    for p in &entity.processes {
+        match p {
+            Process::Clocked { stmts, .. } => {
+                luts += stmts.iter().map(|s| stmt_luts(s, &funcs)).sum::<u64>();
+                ffs += assigned_widths(stmts, &funcs);
+                max_depth = max_depth.max(
+                    stmts
+                        .iter()
+                        .map(|s| stmt_depth(s, &funcs))
+                        .max()
+                        .unwrap_or(0),
+                );
+            }
+            Process::Fsm { states, .. } => {
+                let n = states.len().max(1) as u32;
+                let state_bits = 32 - (n - 1).leading_zeros().min(31);
+                // State register + one-hot-ish decode logic.
+                ffs += state_bits as u64;
+                luts += (n as u64 * state_bits as u64).div_ceil(2);
+                let mut fsm_targets: Vec<(String, u32)> = Vec::new();
+                for st in states {
+                    luts += st.stmts.iter().map(|s| stmt_luts(s, &funcs)).sum::<u64>();
+                    collect_targets(&st.stmts, &funcs, &mut fsm_targets);
+                    max_depth = max_depth.max(
+                        st.stmts
+                            .iter()
+                            .map(|s| stmt_depth(s, &funcs))
+                            .max()
+                            .unwrap_or(0)
+                            // The state decode sits in front of every datapath.
+                            + state_bits.div_ceil(2),
+                    );
+                }
+                ffs += fsm_targets.iter().map(|(_, w)| *w as u64).sum::<u64>();
+                // Signals written in several states need state-selection
+                // muxes in front of their registers.
+                let mut seen: Vec<&str> = Vec::new();
+                for (name, w) in &fsm_targets {
+                    if seen.contains(&name.as_str()) {
+                        luts += (*w as u64).div_ceil(2);
+                    } else {
+                        seen.push(name);
+                    }
+                }
+            }
+        }
+    }
+
+    // Functions still present (not inlined) are instantiated once.
+    for f in &entity.functions {
+        luts += f.body.iter().map(|s| stmt_luts(s, &funcs)).sum::<u64>();
+        luts += expr_luts(&f.result, &funcs);
+    }
+
+    let mut bram_bits: u64 = 0;
+    for m in &entity.memories {
+        bram_bits += m.words as u64 * m.width as u64;
+    }
+    let brams = (bram_bits.div_ceil(18 * 1024)) as u32;
+
+    let slices = ((luts.max(ffs) as f64 / 2.0) * PACKING_FACTOR).ceil() as u32;
+    let gates = luts * 16 + ffs * 8 + bram_bits;
+    let period = SEQUENTIAL_OVERHEAD_NS + max_depth as f64 * LEVEL_DELAY_NS;
+    let fmax_mhz = 1_000.0 / period;
+
+    ResourceReport {
+        ffs: ffs as u32,
+        luts: luts as u32,
+        slices,
+        brams,
+        gates,
+        fmax_mhz,
+        utilisation: slices as f64 / device.slices as f64,
+    }
+}
+
+/// A whole-design estimate: per-entity reports plus device-level totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignReport {
+    /// `(entity name, report)` per entity.
+    pub entities: Vec<(String, ResourceReport)>,
+    /// Sum of all entities against the device.
+    pub total: ResourceReport,
+}
+
+/// Estimates every entity of `design` and the device-level total; the
+/// total's fmax is the slowest entity's (one clock domain).
+pub fn estimate_design(design: &crate::ir::Design, device: &Virtex4) -> DesignReport {
+    let entities: Vec<(String, ResourceReport)> = design
+        .entities
+        .iter()
+        .map(|e| (e.name.clone(), estimate_entity(e, device)))
+        .collect();
+    let mut total = ResourceReport {
+        ffs: 0,
+        luts: 0,
+        slices: 0,
+        brams: 0,
+        gates: 0,
+        fmax_mhz: f64::INFINITY,
+        utilisation: 0.0,
+    };
+    for (_, r) in &entities {
+        total.ffs += r.ffs;
+        total.luts += r.luts;
+        total.slices += r.slices;
+        total.brams += r.brams;
+        total.gates += r.gates;
+        total.fmax_mhz = total.fmax_mhz.min(r.fmax_mhz);
+    }
+    if entities.is_empty() {
+        total.fmax_mhz = 0.0;
+    }
+    total.utilisation = total.slices as f64 / device.slices as f64;
+    DesignReport { entities, total }
+}
+
+fn collect_targets(
+    stmts: &[Stmt],
+    funcs: &BTreeMap<String, Function>,
+    out: &mut Vec<(String, u32)>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value } => out.push((target.clone(), value.width(funcs))),
+            Stmt::If { then_, else_, .. } => {
+                collect_targets(then_, funcs, out);
+                collect_targets(else_, funcs, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn assigned_widths(stmts: &[Stmt], funcs: &BTreeMap<String, Function>) -> u64 {
+    let mut targets = Vec::new();
+    collect_targets(stmts, funcs, &mut targets);
+    let mut seen: Vec<&str> = Vec::new();
+    let mut total = 0u64;
+    for (name, w) in &targets {
+        if !seen.contains(&name.as_str()) {
+            seen.push(name);
+            total += *w as u64;
+        }
+    }
+    total
+}
+
+fn stmt_luts(s: &Stmt, funcs: &BTreeMap<String, Function>) -> u64 {
+    match s {
+        Stmt::Assign { value, .. } => expr_luts(value, funcs),
+        Stmt::MemWrite { index, value, .. } => {
+            expr_luts(index, funcs) + expr_luts(value, funcs) + 2
+        }
+        Stmt::If { cond, then_, else_ } => {
+            let inner: u64 = then_
+                .iter()
+                .chain(else_)
+                .map(|s| stmt_luts(s, funcs))
+                .sum();
+            let mut targets = Vec::new();
+            collect_targets(std::slice::from_ref(s), funcs, &mut targets);
+            let mux: u64 = targets.iter().map(|(_, w)| (*w as u64).div_ceil(2)).sum();
+            expr_luts(cond, funcs) + inner + mux
+        }
+        Stmt::Goto(_) => 0,
+    }
+}
+
+fn expr_luts(e: &Expr, funcs: &BTreeMap<String, Function>) -> u64 {
+    match e {
+        Expr::Const(..) | Expr::Var(..) => 0,
+        Expr::Neg(a) => a.width(funcs) as u64 + expr_luts(a, funcs),
+        Expr::MemRead(_, idx, _) => 2 + expr_luts(idx, funcs),
+        Expr::Bin(op, a, b) => {
+            let w = e.width(funcs) as u64;
+            let own = match op {
+                BinOp::Add | BinOp::Sub => w,
+                BinOp::Mul => {
+                    let (wa, wb) = (a.width(funcs) as u64, b.width(funcs) as u64);
+                    wa * wb / 2
+                }
+                BinOp::Shl | BinOp::Shr => match **b {
+                    Expr::Const(..) => 0, // constant shifts are wiring
+                    _ => w * 3,
+                },
+                BinOp::And | BinOp::Or | BinOp::Xor => w,
+                BinOp::Lt | BinOp::Eq | BinOp::Ne => a.width(funcs) as u64 / 2 + 1,
+            };
+            own + expr_luts(a, funcs) + expr_luts(b, funcs)
+        }
+        Expr::Call(name, args) => {
+            // Charged as if inlined once per call site.
+            let f = &funcs[name];
+            let body: u64 = f.body.iter().map(|s| stmt_luts(s, funcs)).sum();
+            let res = expr_luts(&f.result, funcs);
+            let argcost: u64 = args.iter().map(|a| expr_luts(a, funcs)).sum();
+            body + res + argcost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{e, s, EntityBuilder};
+    use crate::ir::Ty;
+    use crate::passes::inline_entity;
+
+    fn adder(width: u32) -> Entity {
+        EntityBuilder::new("adder")
+            .input("a", Ty::Signed(width))
+            .input("b", Ty::Signed(width))
+            .output("y", Ty::Signed(width))
+            .clocked(
+                "p",
+                vec![s::assign("y", e::add(e::v("a", width), e::v("b", width)))],
+            )
+            .build()
+    }
+
+    #[test]
+    fn adder_costs_scale_with_width() {
+        let dev = Virtex4::lx25();
+        let r16 = estimate_entity(&adder(16), &dev);
+        let r32 = estimate_entity(&adder(32), &dev);
+        assert_eq!(r16.luts, 16);
+        assert_eq!(r32.luts, 32);
+        assert_eq!(r16.ffs, 16);
+        assert!(r32.gates > r16.gates);
+        assert!(r32.fmax_mhz < r16.fmax_mhz, "longer carry chain is slower");
+    }
+
+    #[test]
+    fn multiplier_dominates_adder() {
+        let dev = Virtex4::lx25();
+        let mul_ent = EntityBuilder::new("mul")
+            .input("a", Ty::Signed(16))
+            .input("b", Ty::Signed(16))
+            .output("y", Ty::Signed(32))
+            .clocked(
+                "p",
+                vec![s::assign("y", e::mul(e::v("a", 16), e::v("b", 16)))],
+            )
+            .build();
+        let rm = estimate_entity(&mul_ent, &dev);
+        let ra = estimate_entity(&adder(16), &dev);
+        assert!(rm.luts > 4 * ra.luts);
+        assert!(rm.fmax_mhz < ra.fmax_mhz);
+    }
+
+    #[test]
+    fn memories_map_to_brams() {
+        let dev = Virtex4::lx25();
+        let ent = EntityBuilder::new("m")
+            .signal("q", Ty::Signed(16))
+            .memory("tile", 2048, 16) // 32 kbit -> 2 BRAM18
+            .clocked(
+                "p",
+                vec![s::assign("q", e::mem("tile", e::c(0, 11), 16))],
+            )
+            .build();
+        let r = estimate_entity(&ent, &dev);
+        assert_eq!(r.brams, 2);
+        assert!(r.gates > 32_000, "BRAM bits count as gates");
+    }
+
+    #[test]
+    fn pipelining_raises_fmax() {
+        let dev = Virtex4::lx25();
+        // Deep single-cycle chain: y = ((a+b)+c)+d.
+        let deep = EntityBuilder::new("deep")
+            .input("a", Ty::Signed(16))
+            .input("b", Ty::Signed(16))
+            .input("c", Ty::Signed(16))
+            .input("d", Ty::Signed(16))
+            .output("y", Ty::Signed(16))
+            .clocked(
+                "p",
+                vec![s::assign(
+                    "y",
+                    e::add(
+                        e::add(e::add(e::v("a", 16), e::v("b", 16)), e::v("c", 16)),
+                        e::v("d", 16),
+                    ),
+                )],
+            )
+            .build();
+        // Same function split into two registered stages.
+        let piped = EntityBuilder::new("piped")
+            .input("a", Ty::Signed(16))
+            .input("b", Ty::Signed(16))
+            .input("c", Ty::Signed(16))
+            .input("d", Ty::Signed(16))
+            .output("y", Ty::Signed(16))
+            .signal("t0", Ty::Signed(16))
+            .signal("t1", Ty::Signed(16))
+            .clocked(
+                "stage1",
+                vec![
+                    s::assign("t0", e::add(e::v("a", 16), e::v("b", 16))),
+                    s::assign("t1", e::add(e::v("c", 16), e::v("d", 16))),
+                ],
+            )
+            .clocked(
+                "stage2",
+                vec![s::assign("y", e::add(e::v("t0", 16), e::v("t1", 16)))],
+            )
+            .build();
+        let rd = estimate_entity(&deep, &dev);
+        let rp = estimate_entity(&piped, &dev);
+        assert!(rp.fmax_mhz > rd.fmax_mhz, "pipelined design clocks faster");
+        assert!(rp.ffs > rd.ffs, "pipelining costs registers");
+    }
+
+    #[test]
+    fn inlining_duplicates_logic() {
+        let shared = EntityBuilder::new("shared")
+            .input("a", Ty::Signed(16))
+            .input("b", Ty::Signed(16))
+            .output("y0", Ty::Signed(16))
+            .output("y1", Ty::Signed(16))
+            .function(
+                "f",
+                &[("x", Ty::Signed(16))],
+                Ty::Signed(16),
+                vec![],
+                &[],
+                e::add(
+                    e::add(e::v("x", 16), e::c(1, 16)),
+                    e::mul(e::v("x", 16), e::c(3, 16)),
+                ),
+            )
+            .clocked(
+                "p",
+                vec![
+                    s::assign("y0", e::call("f", vec![e::v("a", 16)])),
+                    s::assign("y1", e::call("f", vec![e::v("b", 16)])),
+                ],
+            )
+            .build();
+        let dev = Virtex4::lx25();
+        let inlined = inline_entity(&shared);
+        let r = estimate_entity(&inlined, &dev);
+        // Two call sites, each charged the full function cost.
+        let single_site = {
+            let one = EntityBuilder::new("one")
+                .input("a", Ty::Signed(16))
+                .output("y0", Ty::Signed(16))
+                .function(
+                    "f",
+                    &[("x", Ty::Signed(16))],
+                    Ty::Signed(16),
+                    vec![],
+                    &[],
+                    e::add(
+                        e::add(e::v("x", 16), e::c(1, 16)),
+                        e::mul(e::v("x", 16), e::c(3, 16)),
+                    ),
+                )
+                .clocked("p", vec![s::assign("y0", e::call("f", vec![e::v("a", 16)]))])
+                .build();
+            estimate_entity(&inline_entity(&one), &dev)
+        };
+        assert!(r.luts >= 2 * single_site.luts - 4);
+    }
+
+    #[test]
+    fn design_report_sums_and_takes_slowest_clock() {
+        use crate::idwt;
+        use crate::ir::Design;
+        let design = Design {
+            name: "jpeg2000_hw".into(),
+            entities: vec![idwt::idwt53_reference(), idwt::idwt97_reference()],
+        };
+        let dev = Virtex4::lx25();
+        let report = estimate_design(&design, &dev);
+        assert_eq!(report.entities.len(), 2);
+        let sum: u32 = report.entities.iter().map(|(_, r)| r.slices).sum();
+        assert_eq!(report.total.slices, sum);
+        let slowest = report
+            .entities
+            .iter()
+            .map(|(_, r)| r.fmax_mhz)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(report.total.fmax_mhz, slowest);
+        assert!(report.total.utilisation < 1.0, "fits the LX25");
+    }
+
+    #[test]
+    fn empty_design_report() {
+        let report = estimate_design(&crate::ir::Design::default(), &Virtex4::lx25());
+        assert_eq!(report.total.slices, 0);
+        assert_eq!(report.total.fmax_mhz, 0.0);
+    }
+
+    #[test]
+    fn utilisation_fraction() {
+        let dev = Virtex4::lx25();
+        let r = estimate_entity(&adder(16), &dev);
+        assert!(r.utilisation > 0.0 && r.utilisation < 0.01);
+    }
+}

@@ -1,0 +1,571 @@
+//! The register-transfer-level intermediate representation.
+//!
+//! Rich enough to express the synthesisable-OSSS subset the case study
+//! uses: typed signals and ports, synchronous memories, synthesisable
+//! functions (inlinable), combinational processes and explicit finite
+//! state machines.
+
+use std::collections::BTreeMap;
+
+/// A hardware type: a bit or a fixed-width vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// Single bit.
+    Bit,
+    /// Unsigned vector of the given width.
+    Unsigned(u32),
+    /// Signed (two's-complement) vector of the given width.
+    Signed(u32),
+}
+
+impl Ty {
+    /// Width in bits.
+    pub fn width(self) -> u32 {
+        match self {
+            Ty::Bit => 1,
+            Ty::Unsigned(w) | Ty::Signed(w) => w,
+        }
+    }
+
+    /// VHDL type denotation.
+    pub fn vhdl(self) -> String {
+        match self {
+            Ty::Bit => "std_logic".to_string(),
+            Ty::Unsigned(w) => format!("unsigned({} downto 0)", w - 1),
+            Ty::Signed(w) => format!("signed({} downto 0)", w - 1),
+        }
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Input port.
+    In,
+    /// Output port.
+    Out,
+}
+
+/// An entity port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: Dir,
+    /// Type.
+    pub ty: Ty,
+}
+
+/// An internal signal (becomes a register when assigned in an FSM).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalDecl {
+    /// Signal name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+}
+
+/// A synchronous on-chip memory (maps to block RAM).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryDecl {
+    /// Memory name.
+    pub name: String,
+    /// Number of words.
+    pub words: u32,
+    /// Word width in bits.
+    pub width: u32,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Left shift.
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Less-than comparison (1-bit result).
+    Lt,
+    /// Equality comparison (1-bit result).
+    Eq,
+    /// Inequality comparison (1-bit result).
+    Ne,
+}
+
+impl BinOp {
+    /// Whether the result is a single bit regardless of operand width.
+    pub fn is_compare(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// VHDL operator symbol.
+    pub fn vhdl(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Shl => "sll",
+            BinOp::Shr => "sra",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Lt => "<",
+            BinOp::Eq => "=",
+            BinOp::Ne => "/=",
+        }
+    }
+}
+
+/// Expressions. Every expression carries enough information to compute
+/// its bit width (operands define result widths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal with an explicit width.
+    Const(i64, u32),
+    /// A named signal/port/variable of the given width.
+    Var(String, u32),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A call to a synthesisable function (inlined by the FOSSY pass).
+    Call(String, Vec<Expr>),
+    /// Synchronous memory read: `mem[idx]`, width taken from the memory.
+    MemRead(String, Box<Expr>, u32),
+}
+
+impl Expr {
+    /// Result width in bits (call widths are resolved against `funcs`).
+    pub fn width(&self, funcs: &BTreeMap<String, Function>) -> u32 {
+        match self {
+            Expr::Const(_, w) | Expr::Var(_, w) | Expr::MemRead(_, _, w) => *w,
+            Expr::Neg(e) => e.width(funcs),
+            Expr::Bin(op, a, b) => {
+                if op.is_compare() {
+                    1
+                } else if *op == BinOp::Mul {
+                    a.width(funcs) + b.width(funcs)
+                } else {
+                    a.width(funcs).max(b.width(funcs))
+                }
+            }
+            Expr::Call(name, _) => funcs
+                .get(name)
+                .map(|f| f.ret.width())
+                .unwrap_or(0),
+        }
+    }
+
+    /// Logic depth in LUT levels (used by the fmax estimator): constants
+    /// and variables are free, each operator adds a level, adders and
+    /// multipliers add carry/array depth.
+    pub fn depth(&self, funcs: &BTreeMap<String, Function>) -> u32 {
+        match self {
+            Expr::Const(..) | Expr::Var(..) => 0,
+            Expr::MemRead(_, idx, _) => 1 + idx.depth(funcs),
+            Expr::Neg(e) => 1 + e.depth(funcs),
+            Expr::Bin(op, a, b) => {
+                let base = a.depth(funcs).max(b.depth(funcs));
+                let w = self.width(funcs);
+                let cost = match op {
+                    BinOp::Add | BinOp::Sub => 1 + w / 8, // carry chain
+                    BinOp::Mul => 2 + w / 4,              // LUT multiplier array
+                    BinOp::Shl | BinOp::Shr => 1,
+                    _ => 1,
+                };
+                base + cost
+            }
+            Expr::Call(name, args) => {
+                let inner = funcs
+                    .get(name)
+                    .map(|f| f.body_depth(funcs))
+                    .unwrap_or(0);
+                let amax = args.iter().map(|a| a.depth(funcs)).max().unwrap_or(0);
+                inner + amax
+            }
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `target <= value`.
+    Assign {
+        /// Assigned signal/variable.
+        target: String,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Synchronous memory write: `mem[idx] <= value`.
+    MemWrite {
+        /// Memory name.
+        mem: String,
+        /// Address expression.
+        index: Expr,
+        /// Written value.
+        value: Expr,
+    },
+    /// Conditional.
+    If {
+        /// Condition (1-bit).
+        cond: Expr,
+        /// Then-branch.
+        then_: Vec<Stmt>,
+        /// Else-branch.
+        else_: Vec<Stmt>,
+    },
+    /// FSM state transition.
+    Goto(String),
+}
+
+/// A synthesisable function: parameters, one expression-producing body.
+///
+/// The OSSS input style factors the lifting arithmetic into functions;
+/// the FOSSY pass inlines every call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, Ty)>,
+    /// Return type.
+    pub ret: Ty,
+    /// Straight-line body: local assignments followed by the return
+    /// expression.
+    pub locals: Vec<(String, Ty)>,
+    /// Local computations.
+    pub body: Vec<Stmt>,
+    /// Returned expression.
+    pub result: Expr,
+}
+
+impl Function {
+    /// Logic depth of the function body.
+    pub fn body_depth(&self, funcs: &BTreeMap<String, Function>) -> u32 {
+        let stmt_depth: u32 = self
+            .body
+            .iter()
+            .map(|s| stmt_depth(s, funcs))
+            .max()
+            .unwrap_or(0);
+        stmt_depth + self.result.depth(funcs)
+    }
+}
+
+pub(crate) fn stmt_depth(s: &Stmt, funcs: &BTreeMap<String, Function>) -> u32 {
+    match s {
+        Stmt::Assign { value, .. } => value.depth(funcs),
+        Stmt::MemWrite { index, value, .. } => index.depth(funcs).max(value.depth(funcs)) + 1,
+        Stmt::If { cond, then_, else_ } => {
+            let inner = then_
+                .iter()
+                .chain(else_)
+                .map(|s| stmt_depth(s, funcs))
+                .max()
+                .unwrap_or(0);
+            cond.depth(funcs) + inner + 1 // mux level
+        }
+        Stmt::Goto(_) => 0,
+    }
+}
+
+/// One FSM state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// State name.
+    pub name: String,
+    /// Statements executed in the state (including `Goto`s).
+    pub stmts: Vec<Stmt>,
+}
+
+/// A clocked process: either a plain pipeline stage (all statements every
+/// cycle) or an explicit state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Process {
+    /// A free-running clocked process (pipeline stage register slice).
+    Clocked {
+        /// Process name.
+        name: String,
+        /// Statements executed every clock edge.
+        stmts: Vec<Stmt>,
+    },
+    /// An explicit state machine.
+    Fsm {
+        /// Process name.
+        name: String,
+        /// States in declaration order; the first is the reset state.
+        states: Vec<State>,
+    },
+}
+
+impl Process {
+    /// The process name.
+    pub fn name(&self) -> &str {
+        match self {
+            Process::Clocked { name, .. } | Process::Fsm { name, .. } => name,
+        }
+    }
+}
+
+/// A hardware entity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Entity {
+    /// Entity name.
+    pub name: String,
+    /// Ports.
+    pub ports: Vec<Port>,
+    /// Internal signals.
+    pub signals: Vec<SignalDecl>,
+    /// On-chip memories.
+    pub memories: Vec<MemoryDecl>,
+    /// Synthesisable functions (empty after inlining).
+    pub functions: Vec<Function>,
+    /// Processes.
+    pub processes: Vec<Process>,
+}
+
+impl Entity {
+    /// Function lookup table.
+    pub fn function_map(&self) -> BTreeMap<String, Function> {
+        self.functions
+            .iter()
+            .map(|f| (f.name.clone(), f.clone()))
+            .collect()
+    }
+
+    /// Basic well-formedness: unique names, states referenced by `Goto`
+    /// exist, functions referenced by calls exist.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut names = Vec::new();
+        for n in self
+            .ports
+            .iter()
+            .map(|p| p.name.as_str())
+            .chain(self.signals.iter().map(|s| s.name.as_str()))
+            .chain(self.memories.iter().map(|m| m.name.as_str()))
+        {
+            if names.contains(&n) {
+                return Err(format!("duplicate declaration `{n}` in `{}`", self.name));
+            }
+            names.push(n);
+        }
+        let funcs = self.function_map();
+        for p in &self.processes {
+            let states: Vec<&str> = match p {
+                Process::Fsm { states, .. } => states.iter().map(|s| s.name.as_str()).collect(),
+                Process::Clocked { .. } => Vec::new(),
+            };
+            let stmts: Vec<&Stmt> = match p {
+                Process::Fsm { states, .. } => states.iter().flat_map(|s| &s.stmts).collect(),
+                Process::Clocked { stmts, .. } => stmts.iter().collect(),
+            };
+            for s in stmts {
+                validate_stmt(s, &states, &funcs, p.name())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_stmt(
+    s: &Stmt,
+    states: &[&str],
+    funcs: &BTreeMap<String, Function>,
+    proc_name: &str,
+) -> Result<(), String> {
+    match s {
+        Stmt::Goto(target) => {
+            if !states.contains(&target.as_str()) {
+                return Err(format!(
+                    "process `{proc_name}` jumps to unknown state `{target}`"
+                ));
+            }
+        }
+        Stmt::If { cond, then_, else_ } => {
+            validate_expr(cond, funcs, proc_name)?;
+            for s in then_.iter().chain(else_) {
+                validate_stmt(s, states, funcs, proc_name)?;
+            }
+        }
+        Stmt::Assign { value, .. } => validate_expr(value, funcs, proc_name)?,
+        Stmt::MemWrite { index, value, .. } => {
+            validate_expr(index, funcs, proc_name)?;
+            validate_expr(value, funcs, proc_name)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_expr(
+    e: &Expr,
+    funcs: &BTreeMap<String, Function>,
+    proc_name: &str,
+) -> Result<(), String> {
+    match e {
+        Expr::Call(name, args) => {
+            let f = funcs.get(name).ok_or(format!(
+                "process `{proc_name}` calls unknown function `{name}`"
+            ))?;
+            if f.params.len() != args.len() {
+                return Err(format!(
+                    "call to `{name}` passes {} args, expected {}",
+                    args.len(),
+                    f.params.len()
+                ));
+            }
+            for a in args {
+                validate_expr(a, funcs, proc_name)?;
+            }
+        }
+        Expr::Bin(_, a, b) => {
+            validate_expr(a, funcs, proc_name)?;
+            validate_expr(b, funcs, proc_name)?;
+        }
+        Expr::Neg(a) => validate_expr(a, funcs, proc_name)?,
+        Expr::MemRead(_, idx, _) => validate_expr(idx, funcs, proc_name)?,
+        Expr::Const(..) | Expr::Var(..) => {}
+    }
+    Ok(())
+}
+
+/// A design: a set of entities (one per hardware block).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    /// The entities.
+    pub entities: Vec<Entity>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: &str, w: u32) -> Expr {
+        Expr::Var(n.to_string(), w)
+    }
+
+    #[test]
+    fn widths() {
+        let funcs = BTreeMap::new();
+        assert_eq!(Ty::Bit.width(), 1);
+        assert_eq!(Ty::Signed(16).width(), 16);
+        let add = Expr::Bin(BinOp::Add, Box::new(var("a", 16)), Box::new(var("b", 12)));
+        assert_eq!(add.width(&funcs), 16);
+        let mul = Expr::Bin(BinOp::Mul, Box::new(var("a", 16)), Box::new(var("b", 16)));
+        assert_eq!(mul.width(&funcs), 32);
+        let cmp = Expr::Bin(BinOp::Lt, Box::new(var("a", 16)), Box::new(var("b", 16)));
+        assert_eq!(cmp.width(&funcs), 1);
+    }
+
+    #[test]
+    fn depth_grows_with_nesting() {
+        let funcs = BTreeMap::new();
+        let a = var("a", 16);
+        let add = Expr::Bin(BinOp::Add, Box::new(a.clone()), Box::new(a.clone()));
+        let nested = Expr::Bin(BinOp::Add, Box::new(add.clone()), Box::new(add.clone()));
+        assert!(nested.depth(&funcs) > add.depth(&funcs));
+        assert!(add.depth(&funcs) > a.depth(&funcs));
+        let mul = Expr::Bin(BinOp::Mul, Box::new(var("a", 16)), Box::new(var("b", 16)));
+        assert!(mul.depth(&funcs) > add.depth(&funcs));
+    }
+
+    #[test]
+    fn validate_catches_unknown_state() {
+        let e = Entity {
+            name: "e".into(),
+            processes: vec![Process::Fsm {
+                name: "fsm".into(),
+                states: vec![State {
+                    name: "s0".into(),
+                    stmts: vec![Stmt::Goto("nowhere".into())],
+                }],
+            }],
+            ..Default::default()
+        };
+        assert!(e.validate().unwrap_err().contains("nowhere"));
+    }
+
+    #[test]
+    fn validate_catches_unknown_function_and_arity() {
+        let mut e = Entity {
+            name: "e".into(),
+            processes: vec![Process::Clocked {
+                name: "p".into(),
+                stmts: vec![Stmt::Assign {
+                    target: "x".into(),
+                    value: Expr::Call("f".into(), vec![]),
+                }],
+            }],
+            ..Default::default()
+        };
+        assert!(e.validate().is_err());
+        e.functions.push(Function {
+            name: "f".into(),
+            params: vec![("a".into(), Ty::Signed(8))],
+            ret: Ty::Signed(8),
+            locals: vec![],
+            body: vec![],
+            result: Expr::Var("a".into(), 8),
+        });
+        // Arity mismatch now.
+        assert!(e.validate().unwrap_err().contains("expected 1"));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_names() {
+        let e = Entity {
+            name: "e".into(),
+            ports: vec![Port {
+                name: "x".into(),
+                dir: Dir::In,
+                ty: Ty::Bit,
+            }],
+            signals: vec![SignalDecl {
+                name: "x".into(),
+                ty: Ty::Bit,
+            }],
+            ..Default::default()
+        };
+        assert!(e.validate().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn call_depth_includes_body() {
+        let mut funcs = BTreeMap::new();
+        funcs.insert(
+            "lift".to_string(),
+            Function {
+                name: "lift".into(),
+                params: vec![("a".into(), Ty::Signed(16))],
+                ret: Ty::Signed(16),
+                locals: vec![],
+                body: vec![],
+                result: Expr::Bin(
+                    BinOp::Add,
+                    Box::new(var("a", 16)),
+                    Box::new(Expr::Const(1, 16)),
+                ),
+            },
+        );
+        let call = Expr::Call("lift".into(), vec![var("x", 16)]);
+        assert!(call.depth(&funcs) > 0);
+    }
+}

@@ -1,0 +1,445 @@
+//! Synthesis passes: function inlining (FOSSY's signature transformation),
+//! constant folding and dead-signal elimination.
+
+use std::collections::BTreeMap;
+
+use crate::ir::{BinOp, Entity, Expr, Function, Process, State, Stmt};
+
+/// Inlines every function call site of the entity, producing the
+/// "all functions and procedures inlined into a single explicit state
+/// machine" form the paper describes for FOSSY-generated VHDL.
+///
+/// Function bodies must be straight-line (`Assign` statements plus the
+/// result expression); parameters and locals are substituted by value, so
+/// a parameter used twice duplicates its argument logic — exactly the
+/// area growth the Table 2 comparison shows for the 5/3 filter.
+///
+/// # Panics
+///
+/// Panics if a function body contains unsupported statements; the shipped
+/// frontend designs are all inlinable by construction.
+pub fn inline_entity(entity: &Entity) -> Entity {
+    let funcs = entity.function_map();
+    let mut out = entity.clone();
+    out.functions.clear();
+    for p in &mut out.processes {
+        match p {
+            Process::Clocked { stmts, .. } => {
+                *stmts = stmts.iter().map(|s| inline_stmt(s, &funcs)).collect();
+            }
+            Process::Fsm { states, .. } => {
+                for State { stmts, .. } in states {
+                    *stmts = stmts.iter().map(|s| inline_stmt(s, &funcs)).collect();
+                }
+            }
+        }
+    }
+    out
+}
+
+fn inline_stmt(s: &Stmt, funcs: &BTreeMap<String, Function>) -> Stmt {
+    match s {
+        Stmt::Assign { target, value } => Stmt::Assign {
+            target: target.clone(),
+            value: inline_expr(value, funcs),
+        },
+        Stmt::MemWrite { mem, index, value } => Stmt::MemWrite {
+            mem: mem.clone(),
+            index: inline_expr(index, funcs),
+            value: inline_expr(value, funcs),
+        },
+        Stmt::If { cond, then_, else_ } => Stmt::If {
+            cond: inline_expr(cond, funcs),
+            then_: then_.iter().map(|s| inline_stmt(s, funcs)).collect(),
+            else_: else_.iter().map(|s| inline_stmt(s, funcs)).collect(),
+        },
+        Stmt::Goto(t) => Stmt::Goto(t.clone()),
+    }
+}
+
+fn inline_expr(e: &Expr, funcs: &BTreeMap<String, Function>) -> Expr {
+    match e {
+        Expr::Call(name, args) => {
+            let f = funcs
+                .get(name)
+                .unwrap_or_else(|| panic!("inline: unknown function `{name}`"));
+            let args: Vec<Expr> = args.iter().map(|a| inline_expr(a, funcs)).collect();
+            let mut env: BTreeMap<String, Expr> = f
+                .params
+                .iter()
+                .zip(&args)
+                .map(|((p, _), a)| (p.clone(), a.clone()))
+                .collect();
+            // Straight-line local assignments become substitutions.
+            for stmt in &f.body {
+                match stmt {
+                    Stmt::Assign { target, value } => {
+                        let v = subst(value, &env);
+                        env.insert(target.clone(), v);
+                    }
+                    other => panic!(
+                        "inline: function `{name}` body contains non-assign statement {other:?}"
+                    ),
+                }
+            }
+            // Recurse in case the function itself calls functions.
+            inline_expr(&subst(&f.result, &env), funcs)
+        }
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(inline_expr(a, funcs)),
+            Box::new(inline_expr(b, funcs)),
+        ),
+        Expr::Neg(a) => Expr::Neg(Box::new(inline_expr(a, funcs))),
+        Expr::MemRead(m, idx, w) => {
+            Expr::MemRead(m.clone(), Box::new(inline_expr(idx, funcs)), *w)
+        }
+        Expr::Const(..) | Expr::Var(..) => e.clone(),
+    }
+}
+
+fn subst(e: &Expr, env: &BTreeMap<String, Expr>) -> Expr {
+    match e {
+        Expr::Var(name, _) => env.get(name).cloned().unwrap_or_else(|| e.clone()),
+        Expr::Bin(op, a, b) => {
+            Expr::Bin(*op, Box::new(subst(a, env)), Box::new(subst(b, env)))
+        }
+        Expr::Neg(a) => Expr::Neg(Box::new(subst(a, env))),
+        Expr::Call(name, args) => Expr::Call(
+            name.clone(),
+            args.iter().map(|a| subst(a, env)).collect(),
+        ),
+        Expr::MemRead(m, idx, w) => Expr::MemRead(m.clone(), Box::new(subst(idx, env)), *w),
+        Expr::Const(..) => e.clone(),
+    }
+}
+
+/// Folds constant subexpressions throughout the entity.
+pub fn fold_entity(entity: &Entity) -> Entity {
+    let mut out = entity.clone();
+    let fold_stmts = |stmts: &mut Vec<Stmt>| {
+        *stmts = stmts.iter().map(fold_stmt).collect();
+    };
+    for p in &mut out.processes {
+        match p {
+            Process::Clocked { stmts, .. } => fold_stmts(stmts),
+            Process::Fsm { states, .. } => {
+                for st in states {
+                    fold_stmts(&mut st.stmts);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn fold_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Assign { target, value } => Stmt::Assign {
+            target: target.clone(),
+            value: fold_expr(value),
+        },
+        Stmt::MemWrite { mem, index, value } => Stmt::MemWrite {
+            mem: mem.clone(),
+            index: fold_expr(index),
+            value: fold_expr(value),
+        },
+        Stmt::If { cond, then_, else_ } => Stmt::If {
+            cond: fold_expr(cond),
+            then_: then_.iter().map(fold_stmt).collect(),
+            else_: else_.iter().map(fold_stmt).collect(),
+        },
+        Stmt::Goto(t) => Stmt::Goto(t.clone()),
+    }
+}
+
+fn fold_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Bin(op, a, b) => {
+            let a = fold_expr(a);
+            let b = fold_expr(b);
+            if let (Expr::Const(x, wa), Expr::Const(y, wb)) = (&a, &b) {
+                let w = (*wa).max(*wb);
+                let v = match op {
+                    BinOp::Add => Some(x + y),
+                    BinOp::Sub => Some(x - y),
+                    BinOp::Mul => Some(x * y),
+                    BinOp::Shl => Some(x << y),
+                    BinOp::Shr => Some(x >> y),
+                    BinOp::And => Some(x & y),
+                    BinOp::Or => Some(x | y),
+                    BinOp::Xor => Some(x ^ y),
+                    BinOp::Lt => Some((x < y) as i64),
+                    BinOp::Eq => Some((x == y) as i64),
+                    BinOp::Ne => Some((x != y) as i64),
+                };
+                if let Some(v) = v {
+                    let w = if op.is_compare() { 1 } else { w };
+                    return Expr::Const(v, w);
+                }
+            }
+            Expr::Bin(*op, Box::new(a), Box::new(b))
+        }
+        Expr::Neg(a) => {
+            let a = fold_expr(a);
+            if let Expr::Const(x, w) = a {
+                Expr::Const(-x, w)
+            } else {
+                Expr::Neg(Box::new(a))
+            }
+        }
+        Expr::MemRead(m, idx, w) => Expr::MemRead(m.clone(), Box::new(fold_expr(idx)), *w),
+        Expr::Call(name, args) => {
+            Expr::Call(name.clone(), args.iter().map(fold_expr).collect())
+        }
+        Expr::Const(..) | Expr::Var(..) => e.clone(),
+    }
+}
+
+/// Removes internal signals that are never read (and the assignments that
+/// drive them). Ports and memories are always kept.
+pub fn eliminate_dead_signals(entity: &Entity) -> Entity {
+    let mut out = entity.clone();
+    loop {
+        let mut read: Vec<String> = Vec::new();
+        let mut visit_expr = |e: &Expr| collect_reads(e, &mut read);
+        for p in &out.processes {
+            let stmts: Vec<&Stmt> = match p {
+                Process::Clocked { stmts, .. } => stmts.iter().collect(),
+                Process::Fsm { states, .. } => states.iter().flat_map(|s| &s.stmts).collect(),
+            };
+            for s in stmts {
+                visit_stmt_reads(s, &mut visit_expr);
+            }
+        }
+        let dead: Vec<String> = out
+            .signals
+            .iter()
+            .filter(|s| !read.contains(&s.name))
+            .map(|s| s.name.clone())
+            .collect();
+        if dead.is_empty() {
+            return out;
+        }
+        out.signals.retain(|s| !dead.contains(&s.name));
+        for p in &mut out.processes {
+            match p {
+                Process::Clocked { stmts, .. } => remove_dead_assigns(stmts, &dead),
+                Process::Fsm { states, .. } => {
+                    for st in &mut states.iter_mut() {
+                        remove_dead_assigns(&mut st.stmts, &dead);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn remove_dead_assigns(stmts: &mut Vec<Stmt>, dead: &[String]) {
+    stmts.retain_mut(|s| match s {
+        Stmt::Assign { target, .. } => !dead.contains(target),
+        Stmt::If { then_, else_, .. } => {
+            remove_dead_assigns(then_, dead);
+            remove_dead_assigns(else_, dead);
+            true
+        }
+        _ => true,
+    });
+}
+
+fn visit_stmt_reads(s: &Stmt, f: &mut impl FnMut(&Expr)) {
+    match s {
+        Stmt::Assign { value, .. } => f(value),
+        Stmt::MemWrite { index, value, .. } => {
+            f(index);
+            f(value);
+        }
+        Stmt::If { cond, then_, else_ } => {
+            f(cond);
+            for s in then_.iter().chain(else_) {
+                visit_stmt_reads(s, f);
+            }
+        }
+        Stmt::Goto(_) => {}
+    }
+}
+
+fn collect_reads(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Var(name, _) => out.push(name.clone()),
+        Expr::Bin(_, a, b) => {
+            collect_reads(a, out);
+            collect_reads(b, out);
+        }
+        Expr::Neg(a) => collect_reads(a, out),
+        Expr::Call(_, args) => {
+            for a in args {
+                collect_reads(a, out);
+            }
+        }
+        Expr::MemRead(_, idx, _) => collect_reads(idx, out),
+        Expr::Const(..) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{e, s, EntityBuilder};
+    use crate::ir::Ty;
+
+    fn entity_with_function() -> Entity {
+        EntityBuilder::new("lift")
+            .input("a", Ty::Signed(16))
+            .input("b", Ty::Signed(16))
+            .input("c", Ty::Signed(16))
+            .output("y", Ty::Signed(16))
+            .signal("t", Ty::Signed(16))
+            .function(
+                "predict",
+                &[("p0", Ty::Signed(16)), ("p1", Ty::Signed(16)), ("p2", Ty::Signed(16))],
+                Ty::Signed(16),
+                vec![s::assign(
+                    "sum",
+                    e::add(e::v("p0", 16), e::v("p2", 16)),
+                )],
+                &[("sum", Ty::Signed(16))],
+                e::sub(e::v("p1", 16), e::shr(e::v("sum", 16), 1)),
+            )
+            .clocked(
+                "dp",
+                vec![s::assign(
+                    "t",
+                    e::call(
+                        "predict",
+                        vec![e::v("a", 16), e::v("b", 16), e::v("c", 16)],
+                    ),
+                )],
+            )
+            .clocked("out", vec![s::assign("y", e::v("t", 16))])
+            .build()
+    }
+
+    #[test]
+    fn inlining_removes_calls_and_functions() {
+        let ent = entity_with_function();
+        let inlined = inline_entity(&ent);
+        assert!(inlined.functions.is_empty());
+        // The call is replaced by the substituted body.
+        let Process::Clocked { stmts, .. } = &inlined.processes[0] else {
+            panic!("expected clocked process");
+        };
+        let Stmt::Assign { value, .. } = &stmts[0] else {
+            panic!("expected assign");
+        };
+        assert!(!format!("{value:?}").contains("Call"));
+        assert!(format!("{value:?}").contains("Sub"));
+        inlined.validate().expect("still valid");
+    }
+
+    #[test]
+    fn inlining_grows_logic_depth_versus_shared_function() {
+        use std::collections::BTreeMap;
+        let ent = entity_with_function();
+        let inlined = inline_entity(&ent);
+        let funcs = BTreeMap::new();
+        let Process::Clocked { stmts, .. } = &inlined.processes[0] else {
+            panic!()
+        };
+        let Stmt::Assign { value, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert!(value.depth(&funcs) >= 2, "inlined lifting is multi-level");
+    }
+
+    #[test]
+    fn nested_function_calls_inline_recursively() {
+        let ent = EntityBuilder::new("nest")
+            .input("x", Ty::Signed(8))
+            .output("y", Ty::Signed(8))
+            .function(
+                "inc",
+                &[("v", Ty::Signed(8))],
+                Ty::Signed(8),
+                vec![],
+                &[],
+                e::add(e::v("v", 8), e::c(1, 8)),
+            )
+            .function(
+                "inc2",
+                &[("v", Ty::Signed(8))],
+                Ty::Signed(8),
+                vec![],
+                &[],
+                e::call("inc", vec![e::call("inc", vec![e::v("v", 8)])]),
+            )
+            .clocked(
+                "p",
+                vec![s::assign("y", e::call("inc2", vec![e::v("x", 8)]))],
+            )
+            .build();
+        let inlined = inline_entity(&ent);
+        let Process::Clocked { stmts, .. } = &inlined.processes[0] else {
+            panic!()
+        };
+        let repr = format!("{:?}", stmts[0]);
+        assert!(!repr.contains("Call"));
+        // x + 1 + 1 structure.
+        assert_eq!(repr.matches("Add").count(), 2);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let ent = EntityBuilder::new("cf")
+            .output("y", Ty::Signed(16))
+            .clocked(
+                "p",
+                vec![s::assign(
+                    "y",
+                    e::add(e::c(3, 16), e::mul(e::c(4, 16), e::c(5, 16))),
+                )],
+            )
+            .build();
+        let folded = fold_entity(&ent);
+        let Process::Clocked { stmts, .. } = &folded.processes[0] else {
+            panic!()
+        };
+        assert_eq!(
+            stmts[0],
+            s::assign("y", e::c(23, 16)),
+            "3 + 4*5 folds to 23"
+        );
+    }
+
+    #[test]
+    fn dead_signal_elimination_iterates() {
+        // chain: a -> b, b never read downstream: both die; y stays.
+        let ent = EntityBuilder::new("dse")
+            .input("x", Ty::Signed(8))
+            .output("y", Ty::Signed(8))
+            .signal("a", Ty::Signed(8))
+            .signal("b", Ty::Signed(8))
+            .clocked(
+                "p",
+                vec![
+                    s::assign("a", e::v("x", 8)),
+                    s::assign("b", e::v("a", 8)),
+                    s::assign("y", e::v("x", 8)),
+                ],
+            )
+            .build();
+        let cleaned = eliminate_dead_signals(&ent);
+        assert!(cleaned.signals.is_empty(), "a and b both dead");
+        let Process::Clocked { stmts, .. } = &cleaned.processes[0] else {
+            panic!()
+        };
+        assert_eq!(stmts.len(), 1, "only the y assignment remains");
+    }
+
+    #[test]
+    fn live_signals_survive_dse() {
+        let ent = entity_with_function();
+        let cleaned = eliminate_dead_signals(&ent);
+        assert_eq!(cleaned.signals.len(), 1, "t feeds y, stays");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based verification of the synthesis passes: on randomly
+//! generated designs, inlining and constant folding must preserve the
+//! cycle-accurate behaviour (checked with the IR interpreter), and the
+//! estimator must respond monotonically to the transformations.
+
+use fossy::build::{e, s, EntityBuilder};
+use fossy::estimate::{estimate_entity, Virtex4};
+use fossy::interp::Interp;
+use fossy::ir::{Entity, Expr, Ty};
+use fossy::passes::{eliminate_dead_signals, fold_entity, inline_entity};
+use proptest::prelude::*;
+
+const W: u32 = 16;
+
+/// A random expression tree over inputs `a`, `b`, `c` and calls to a
+/// fixed helper function `f(x, y) = (x + y) - (x >> 1)`.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(|v| e::c(v, W)),
+        Just(e::v("a", W)),
+        Just(e::v("b", W)),
+        Just(e::v("c", W)),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| e::add(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| e::sub(x, y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| e::mul(x, y)),
+            (inner.clone(), 0i64..4).prop_map(|(x, sh)| e::shr(x, sh)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| e::call("f", vec![x, y])),
+        ]
+    })
+}
+
+fn entity_for(expr: Expr) -> Entity {
+    EntityBuilder::new("rand")
+        .input("a", Ty::Signed(W))
+        .input("b", Ty::Signed(W))
+        .input("c", Ty::Signed(W))
+        .output("y", Ty::Signed(W))
+        .function(
+            "f",
+            &[("x", Ty::Signed(W)), ("z", Ty::Signed(W))],
+            Ty::Signed(W),
+            vec![s::assign("t", e::add(e::v("x", W), e::v("z", W)))],
+            &[("t", Ty::Signed(W))],
+            e::sub(e::v("t", W), e::shr(e::v("x", W), 1)),
+        )
+        .clocked("p", vec![s::assign("y", expr)])
+        .build()
+}
+
+fn traces_equal(a: &Entity, b: &Entity, stimuli: &[(i64, i64, i64)]) -> bool {
+    let mut ia = Interp::new(a);
+    let mut ib = Interp::new(b);
+    for &(x, y, z) in stimuli {
+        for it in [&mut ia, &mut ib] {
+            it.set_input("a", x);
+            it.set_input("b", y);
+            it.set_input("c", z);
+            it.step();
+        }
+        if ia.get("y") != ib.get("y") {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Inlining is meaning-preserving on arbitrary expression forests.
+    #[test]
+    fn inlining_preserves_behaviour(
+        expr in arb_expr(),
+        stimuli in proptest::collection::vec((-500i64..500, -500i64..500, -500i64..500), 1..12),
+    ) {
+        let ent = entity_for(expr);
+        let inlined = inline_entity(&ent);
+        prop_assert!(inlined.functions.is_empty());
+        prop_assert!(traces_equal(&ent, &inlined, &stimuli));
+    }
+
+    /// Constant folding is meaning-preserving and never increases the
+    /// estimated LUT count.
+    #[test]
+    fn folding_preserves_behaviour_and_shrinks(
+        expr in arb_expr(),
+        stimuli in proptest::collection::vec((-500i64..500, -500i64..500, -500i64..500), 1..12),
+    ) {
+        let ent = inline_entity(&entity_for(expr));
+        let folded = fold_entity(&ent);
+        prop_assert!(traces_equal(&ent, &folded, &stimuli));
+        let dev = Virtex4::lx25();
+        let before = estimate_entity(&ent, &dev);
+        let after = estimate_entity(&folded, &dev);
+        prop_assert!(after.luts <= before.luts, "{} > {}", after.luts, before.luts);
+    }
+
+    /// Dead-signal elimination never touches live outputs.
+    #[test]
+    fn dse_preserves_live_outputs(
+        expr in arb_expr(),
+        stimuli in proptest::collection::vec((-500i64..500, -500i64..500, -500i64..500), 1..8),
+    ) {
+        // Add a dead chain alongside the live logic.
+        let mut ent = inline_entity(&entity_for(expr));
+        ent.signals.push(fossy::ir::SignalDecl {
+            name: "dead_a".to_string(),
+            ty: Ty::Signed(W),
+        });
+        if let fossy::ir::Process::Clocked { stmts, .. } = &mut ent.processes[0] {
+            stmts.push(s::assign("dead_a", e::add(e::v("a", W), e::c(1, W))));
+        }
+        let cleaned = eliminate_dead_signals(&ent);
+        prop_assert!(cleaned.signals.iter().all(|s| s.name != "dead_a"));
+        // Compare only the live output.
+        let mut ia = Interp::new(&ent);
+        let mut ib = Interp::new(&cleaned);
+        for &(x, y, z) in &stimuli {
+            for it in [&mut ia, &mut ib] {
+                it.set_input("a", x);
+                it.set_input("b", y);
+                it.set_input("c", z);
+                it.step();
+            }
+            prop_assert_eq!(ia.get("y"), ib.get("y"));
+        }
+    }
+
+    /// The full pipeline (inline → fold → DSE) keeps the entity valid and
+    /// the estimator finite and positive.
+    #[test]
+    fn pipeline_output_is_well_formed(expr in arb_expr()) {
+        let out = eliminate_dead_signals(&fold_entity(&inline_entity(&entity_for(expr))));
+        prop_assert!(out.validate().is_ok());
+        let r = estimate_entity(&out, &Virtex4::lx25());
+        prop_assert!(r.fmax_mhz.is_finite() && r.fmax_mhz > 0.0);
+        prop_assert!(r.utilisation >= 0.0);
+    }
+}

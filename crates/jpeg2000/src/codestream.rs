@@ -1,0 +1,448 @@
+//! Codestream marker segments: writer and validating parser.
+//!
+//! The layout follows the JPEG 2000 main-header structure — `SOC`, `SIZ`
+//! (geometry), `COD` (coding style), `QCD` (quantisation), then one
+//! `SOT…SOD…` segment per tile and a closing `EOC`. Field encodings are
+//! simplified where the standard's generality is not exercised (single
+//! tile-part per tile, one layer, no subsampling).
+
+use crate::error::{CodecError, CodecResult};
+
+/// Start of codestream.
+pub const MARKER_SOC: u16 = 0xFF4F;
+/// Image and tile size.
+pub const MARKER_SIZ: u16 = 0xFF51;
+/// Coding style default.
+pub const MARKER_COD: u16 = 0xFF52;
+/// Quantisation default.
+pub const MARKER_QCD: u16 = 0xFF5C;
+/// Start of tile-part.
+pub const MARKER_SOT: u16 = 0xFF90;
+/// Start of data.
+pub const MARKER_SOD: u16 = 0xFF93;
+/// End of codestream.
+pub const MARKER_EOC: u16 = 0xFFD9;
+
+/// Which wavelet the codestream uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wavelet {
+    /// CDF 9/7, irreversible (lossy path).
+    W97,
+    /// LeGall 5/3, reversible (lossless path).
+    W53,
+}
+
+/// Quantisation specification carried in `QCD`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantSpec {
+    /// Reversible: no quantisation.
+    Reversible,
+    /// Irreversible with the LL base step (16.16 fixed point on the wire).
+    Irreversible {
+        /// The LL-band quantisation step.
+        base_step: f64,
+    },
+}
+
+/// Everything the main header carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MainHeader {
+    /// Image width in samples.
+    pub width: u32,
+    /// Image height in samples.
+    pub height: u32,
+    /// Nominal tile width.
+    pub tile_w: u32,
+    /// Nominal tile height.
+    pub tile_h: u32,
+    /// Number of colour components (1 or 3).
+    pub num_components: u16,
+    /// Bits per sample.
+    pub depth: u8,
+    /// DWT decomposition levels.
+    pub levels: u8,
+    /// Quality layers (codeword-terminated pass segments per block).
+    pub layers: u8,
+    /// Code-blocks are `2^cb_exp × 2^cb_exp`.
+    pub cb_exp: u8,
+    /// Whether the multi-component transform (RCT/ICT) is applied.
+    pub use_mct: bool,
+    /// Wavelet kind.
+    pub wavelet: Wavelet,
+    /// Quantisation.
+    pub quant: QuantSpec,
+}
+
+/// One tile's bitstream (the packet sequence between `SOD` and the next
+/// marker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileSegment {
+    /// Tile index in raster order.
+    pub index: u16,
+    /// Packet bytes.
+    pub data: Vec<u8>,
+}
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+/// Serialises a complete codestream.
+pub fn write_codestream(header: &MainHeader, tiles: &[TileSegment]) -> Vec<u8> {
+    let mut w = Writer { out: Vec::new() };
+    w.u16(MARKER_SOC);
+
+    // SIZ: length, geometry, components.
+    w.u16(MARKER_SIZ);
+    let siz_len = 2 + 4 * 4 + 2 + header.num_components as usize;
+    w.u16(siz_len as u16);
+    w.u32(header.width);
+    w.u32(header.height);
+    w.u32(header.tile_w);
+    w.u32(header.tile_h);
+    w.u16(header.num_components);
+    for _ in 0..header.num_components {
+        w.u8(header.depth - 1);
+    }
+
+    // COD: coding style.
+    w.u16(MARKER_COD);
+    w.u16(2 + 5);
+    w.u8(header.levels);
+    w.u8(header.layers);
+    w.u8(header.cb_exp);
+    w.u8(match header.wavelet {
+        Wavelet::W97 => 0,
+        Wavelet::W53 => 1,
+    });
+    w.u8(header.use_mct as u8);
+
+    // QCD: quantisation.
+    w.u16(MARKER_QCD);
+    match header.quant {
+        QuantSpec::Reversible => {
+            w.u16(2 + 1);
+            w.u8(0);
+        }
+        QuantSpec::Irreversible { base_step } => {
+            w.u16(2 + 1 + 4);
+            w.u8(1);
+            w.u32((base_step * 65_536.0).round() as u32);
+        }
+    }
+
+    // Tile-parts.
+    for t in tiles {
+        w.u16(MARKER_SOT);
+        w.u16(10); // Lsot
+        w.u16(t.index);
+        // Psot: SOT marker (2) + Lsot body (10) + SOD marker (2) + data.
+        w.u32(2 + 10 + 2 + t.data.len() as u32);
+        w.u8(0); // TPsot
+        w.u8(1); // TNsot
+        w.u16(MARKER_SOD);
+        w.out.extend_from_slice(&t.data);
+    }
+
+    w.u16(MARKER_EOC);
+    w.out
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self, ctx: &'static str) -> CodecResult<u8> {
+        let v = *self
+            .data
+            .get(self.pos)
+            .ok_or(CodecError::Truncated { context: ctx })?;
+        self.pos += 1;
+        Ok(v)
+    }
+    fn u16(&mut self, ctx: &'static str) -> CodecResult<u16> {
+        Ok(((self.u8(ctx)? as u16) << 8) | self.u8(ctx)? as u16)
+    }
+    fn u32(&mut self, ctx: &'static str) -> CodecResult<u32> {
+        Ok(((self.u16(ctx)? as u32) << 16) | self.u16(ctx)? as u32)
+    }
+    fn bytes(&mut self, n: usize, ctx: &'static str) -> CodecResult<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(CodecError::Truncated { context: ctx });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// Parses and validates a codestream into its header and tile segments.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] or [`CodecError::Malformed`] on any
+/// inconsistency (wrong markers, bad lengths, invalid field values).
+pub fn parse_codestream(bytes: &[u8]) -> CodecResult<(MainHeader, Vec<TileSegment>)> {
+    let mut r = Reader {
+        data: bytes,
+        pos: 0,
+    };
+    if r.u16("SOC")? != MARKER_SOC {
+        return Err(CodecError::malformed("missing SOC marker"));
+    }
+    if r.u16("SIZ marker")? != MARKER_SIZ {
+        return Err(CodecError::malformed("expected SIZ after SOC"));
+    }
+    let siz_len = r.u16("SIZ length")? as usize;
+    let width = r.u32("SIZ width")?;
+    let height = r.u32("SIZ height")?;
+    let tile_w = r.u32("SIZ tile width")?;
+    let tile_h = r.u32("SIZ tile height")?;
+    let num_components = r.u16("SIZ components")?;
+    if width == 0 || height == 0 || tile_w == 0 || tile_h == 0 {
+        return Err(CodecError::malformed("zero dimension in SIZ"));
+    }
+    if num_components == 0 || siz_len != 2 + 16 + 2 + num_components as usize {
+        return Err(CodecError::malformed("inconsistent SIZ length"));
+    }
+    let mut depth = 0u8;
+    for c in 0..num_components {
+        let d = r.u8("SIZ depth")? + 1;
+        if c == 0 {
+            depth = d;
+        } else if d != depth {
+            return Err(CodecError::malformed("heterogeneous component depths"));
+        }
+    }
+    if !(1..=16).contains(&depth) {
+        return Err(CodecError::malformed("unsupported bit depth"));
+    }
+
+    if r.u16("COD marker")? != MARKER_COD {
+        return Err(CodecError::malformed("expected COD after SIZ"));
+    }
+    if r.u16("COD length")? != 7 {
+        return Err(CodecError::malformed("bad COD length"));
+    }
+    let levels = r.u8("COD levels")?;
+    let layers = r.u8("COD layers")?;
+    if layers == 0 {
+        return Err(CodecError::malformed("zero quality layers"));
+    }
+    let cb_exp = r.u8("COD code-block exponent")?;
+    if !(2..=10).contains(&cb_exp) {
+        return Err(CodecError::malformed("code-block exponent out of range"));
+    }
+    let wavelet = match r.u8("COD wavelet")? {
+        0 => Wavelet::W97,
+        1 => Wavelet::W53,
+        v => return Err(CodecError::malformed(format!("unknown wavelet id {v}"))),
+    };
+    let use_mct = match r.u8("COD mct")? {
+        0 => false,
+        1 => true,
+        v => return Err(CodecError::malformed(format!("bad MCT flag {v}"))),
+    };
+
+    if r.u16("QCD marker")? != MARKER_QCD {
+        return Err(CodecError::malformed("expected QCD after COD"));
+    }
+    let qcd_len = r.u16("QCD length")?;
+    let quant = match r.u8("QCD mode")? {
+        0 => {
+            if qcd_len != 3 {
+                return Err(CodecError::malformed("bad QCD length (reversible)"));
+            }
+            QuantSpec::Reversible
+        }
+        1 => {
+            if qcd_len != 7 {
+                return Err(CodecError::malformed("bad QCD length (irreversible)"));
+            }
+            let fixed = r.u32("QCD step")?;
+            if fixed == 0 {
+                return Err(CodecError::malformed("zero quantisation step"));
+            }
+            QuantSpec::Irreversible {
+                base_step: fixed as f64 / 65_536.0,
+            }
+        }
+        v => return Err(CodecError::malformed(format!("unknown QCD mode {v}"))),
+    };
+    // Consistency: wavelet and quantisation must pair up.
+    match (wavelet, quant) {
+        (Wavelet::W53, QuantSpec::Reversible) | (Wavelet::W97, QuantSpec::Irreversible { .. }) => {}
+        _ => return Err(CodecError::malformed("wavelet/quantisation mismatch")),
+    }
+
+    let header = MainHeader {
+        width,
+        height,
+        tile_w,
+        tile_h,
+        num_components,
+        depth,
+        levels,
+        layers,
+        cb_exp,
+        use_mct,
+        wavelet,
+        quant,
+    };
+
+    // Tile-parts until EOC.
+    let mut tiles = Vec::new();
+    loop {
+        let marker = r.u16("tile marker")?;
+        if marker == MARKER_EOC {
+            break;
+        }
+        if marker != MARKER_SOT {
+            return Err(CodecError::malformed(format!(
+                "expected SOT or EOC, found {marker:#06x}"
+            )));
+        }
+        if r.u16("SOT length")? != 10 {
+            return Err(CodecError::malformed("bad SOT length"));
+        }
+        let index = r.u16("SOT tile index")?;
+        let psot = r.u32("SOT Psot")? as usize;
+        let _tpsot = r.u8("SOT TPsot")?;
+        let _tnsot = r.u8("SOT TNsot")?;
+        if r.u16("SOD")? != MARKER_SOD {
+            return Err(CodecError::malformed("expected SOD in tile-part"));
+        }
+        if psot < 14 {
+            return Err(CodecError::malformed("Psot shorter than tile-part header"));
+        }
+        let data = r.bytes(psot - 14, "tile data")?.to_vec();
+        tiles.push(TileSegment { index, data });
+    }
+    Ok((header, tiles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> MainHeader {
+        MainHeader {
+            width: 256,
+            height: 192,
+            tile_w: 64,
+            tile_h: 64,
+            num_components: 3,
+            depth: 8,
+            levels: 3,
+            layers: 1,
+            cb_exp: 5,
+            use_mct: true,
+            wavelet: Wavelet::W53,
+            quant: QuantSpec::Reversible,
+        }
+    }
+
+    #[test]
+    fn roundtrip_lossless_header() {
+        let tiles = vec![
+            TileSegment {
+                index: 0,
+                data: vec![1, 2, 3],
+            },
+            TileSegment {
+                index: 1,
+                data: vec![0xFF, 0x42],
+            },
+        ];
+        let bytes = write_codestream(&header(), &tiles);
+        let (h, t) = parse_codestream(&bytes).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(t, tiles);
+    }
+
+    #[test]
+    fn roundtrip_lossy_header() {
+        let mut h = header();
+        h.wavelet = Wavelet::W97;
+        h.quant = QuantSpec::Irreversible { base_step: 0.5 };
+        let bytes = write_codestream(&h, &[]);
+        let (parsed, tiles) = parse_codestream(&bytes).unwrap();
+        assert_eq!(parsed, h);
+        assert!(tiles.is_empty());
+    }
+
+    #[test]
+    fn step_size_survives_fixed_point() {
+        let mut h = header();
+        h.wavelet = Wavelet::W97;
+        h.quant = QuantSpec::Irreversible {
+            base_step: 0.123_456,
+        };
+        let bytes = write_codestream(&h, &[]);
+        let (parsed, _) = parse_codestream(&bytes).unwrap();
+        match parsed.quant {
+            QuantSpec::Irreversible { base_step } => {
+                assert!((base_step - 0.123_456).abs() < 1.0 / 65_536.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let bytes = write_codestream(
+            &header(),
+            &[TileSegment {
+                index: 0,
+                data: vec![7; 32],
+            }],
+        );
+        // Chopping the stream at any point must yield an error, not a panic
+        // or a silent success.
+        for cut in 0..bytes.len() {
+            let r = parse_codestream(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} parsed successfully");
+        }
+        assert!(parse_codestream(&bytes).is_ok());
+    }
+
+    #[test]
+    fn wrong_first_marker() {
+        let err = parse_codestream(&[0xFF, 0xD9]).unwrap_err();
+        assert!(matches!(err, CodecError::Malformed { .. }));
+    }
+
+    #[test]
+    fn wavelet_quant_mismatch_rejected() {
+        let mut h = header();
+        h.wavelet = Wavelet::W97; // with Reversible quant: invalid
+        let bytes = write_codestream(&h, &[]);
+        let err = parse_codestream(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Malformed { .. }));
+    }
+
+    #[test]
+    fn garbage_after_sot_rejected() {
+        let mut bytes = write_codestream(&header(), &[]);
+        // Replace EOC with a bogus marker.
+        let n = bytes.len();
+        bytes[n - 2] = 0xFF;
+        bytes[n - 1] = 0x00;
+        let err = parse_codestream(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Malformed { .. }));
+    }
+}

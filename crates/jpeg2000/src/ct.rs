@@ -1,0 +1,184 @@
+//! Component transforms (RCT / ICT) and DC level shift.
+//!
+//! * **RCT** — the reversible colour transform paired with the 5/3 wavelet
+//!   on the lossless path; integer, bit-exact invertible.
+//! * **ICT** — the irreversible (floating-point YCbCr) transform paired
+//!   with the 9/7 wavelet on the lossy path.
+//! * **DC level shift** — recentres unsigned samples around zero before
+//!   the wavelet and restores them afterwards.
+
+use crate::image::Plane;
+
+/// Subtracts `2^(depth-1)` from every sample (forward DC level shift).
+pub fn dc_shift_forward(plane: &mut Plane, depth: u8) {
+    let off = 1i32 << (depth - 1);
+    for v in &mut plane.data {
+        *v -= off;
+    }
+}
+
+/// Adds `2^(depth-1)` back and clamps to the valid range (inverse shift).
+pub fn dc_shift_inverse(plane: &mut Plane, depth: u8) {
+    let off = 1i32 << (depth - 1);
+    let max = (1i32 << depth) - 1;
+    for v in &mut plane.data {
+        *v = (*v + off).clamp(0, max);
+    }
+}
+
+/// Forward reversible colour transform on level-shifted RGB planes.
+///
+/// `Y = ⌊(R + 2G + B)/4⌋`, `Cb = B − G`, `Cr = R − G`.
+///
+/// # Panics
+///
+/// Panics if the planes differ in geometry.
+pub fn rct_forward(r: &mut Plane, g: &mut Plane, b: &mut Plane) {
+    assert_eq!(r.data.len(), g.data.len());
+    assert_eq!(g.data.len(), b.data.len());
+    for i in 0..r.data.len() {
+        let (rv, gv, bv) = (r.data[i], g.data[i], b.data[i]);
+        let y = (rv + 2 * gv + bv) >> 2;
+        let cb = bv - gv;
+        let cr = rv - gv;
+        r.data[i] = y;
+        g.data[i] = cb;
+        b.data[i] = cr;
+    }
+}
+
+/// Inverse reversible colour transform (bit-exact inverse of
+/// [`rct_forward`]).
+///
+/// # Panics
+///
+/// Panics if the planes differ in geometry.
+pub fn rct_inverse(y: &mut Plane, cb: &mut Plane, cr: &mut Plane) {
+    assert_eq!(y.data.len(), cb.data.len());
+    assert_eq!(cb.data.len(), cr.data.len());
+    for i in 0..y.data.len() {
+        let (yv, cbv, crv) = (y.data[i], cb.data[i], cr.data[i]);
+        let g = yv - ((cbv + crv) >> 2);
+        let r = crv + g;
+        let b = cbv + g;
+        y.data[i] = r;
+        cb.data[i] = g;
+        cr.data[i] = b;
+    }
+}
+
+/// Forward irreversible colour transform (floating-point YCbCr), rounding
+/// to integers.
+///
+/// # Panics
+///
+/// Panics if the planes differ in geometry.
+pub fn ict_forward(r: &mut Plane, g: &mut Plane, b: &mut Plane) {
+    assert_eq!(r.data.len(), g.data.len());
+    assert_eq!(g.data.len(), b.data.len());
+    for i in 0..r.data.len() {
+        let (rv, gv, bv) = (r.data[i] as f64, g.data[i] as f64, b.data[i] as f64);
+        let y = 0.299 * rv + 0.587 * gv + 0.114 * bv;
+        let cb = -0.168_736 * rv - 0.331_264 * gv + 0.5 * bv;
+        let cr = 0.5 * rv - 0.418_688 * gv - 0.081_312 * bv;
+        r.data[i] = y.round() as i32;
+        g.data[i] = cb.round() as i32;
+        b.data[i] = cr.round() as i32;
+    }
+}
+
+/// Inverse irreversible colour transform.
+///
+/// # Panics
+///
+/// Panics if the planes differ in geometry.
+pub fn ict_inverse(y: &mut Plane, cb: &mut Plane, cr: &mut Plane) {
+    assert_eq!(y.data.len(), cb.data.len());
+    assert_eq!(cb.data.len(), cr.data.len());
+    for i in 0..y.data.len() {
+        let (yv, cbv, crv) = (y.data[i] as f64, cb.data[i] as f64, cr.data[i] as f64);
+        let r = yv + 1.402 * crv;
+        let g = yv - 0.344_136 * cbv - 0.714_136 * crv;
+        let b = yv + 1.772 * cbv;
+        y.data[i] = r.round() as i32;
+        cb.data[i] = g.round() as i32;
+        cr.data[i] = b.round() as i32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+
+    fn planes(seed: u64) -> (Plane, Plane, Plane) {
+        let img = Image::synthetic_rgb(23, 17, seed);
+        (
+            img.components[0].clone(),
+            img.components[1].clone(),
+            img.components[2].clone(),
+        )
+    }
+
+    #[test]
+    fn dc_shift_roundtrip() {
+        let (mut p, _, _) = planes(0);
+        let orig = p.clone();
+        dc_shift_forward(&mut p, 8);
+        assert!(p.data.iter().all(|&v| (-128..=127).contains(&v)));
+        dc_shift_inverse(&mut p, 8);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn rct_is_bit_exact_invertible() {
+        let (mut r, mut g, mut b) = planes(1);
+        for p in [&mut r, &mut g, &mut b] {
+            dc_shift_forward(p, 8);
+        }
+        let (r0, g0, b0) = (r.clone(), g.clone(), b.clone());
+        rct_forward(&mut r, &mut g, &mut b);
+        rct_inverse(&mut r, &mut g, &mut b);
+        assert_eq!((r, g, b), (r0, g0, b0));
+    }
+
+    #[test]
+    fn rct_luma_of_grey_is_identity() {
+        // R = G = B = v  =>  Y = v, Cb = Cr = 0.
+        let mut r = Plane::from_data(2, 1, vec![10, -5]);
+        let mut g = r.clone();
+        let mut b = r.clone();
+        rct_forward(&mut r, &mut g, &mut b);
+        assert_eq!(r.data, vec![10, -5]);
+        assert_eq!(g.data, vec![0, 0]);
+        assert_eq!(b.data, vec![0, 0]);
+    }
+
+    #[test]
+    fn ict_roundtrip_is_close() {
+        let (mut r, mut g, mut b) = planes(2);
+        for p in [&mut r, &mut g, &mut b] {
+            dc_shift_forward(p, 8);
+        }
+        let (r0, g0, b0) = (r.clone(), g.clone(), b.clone());
+        ict_forward(&mut r, &mut g, &mut b);
+        ict_inverse(&mut r, &mut g, &mut b);
+        // Rounding in both directions: at most ±2 per sample.
+        for (a, b_) in [(&r, &r0), (&g, &g0), (&b, &b0)] {
+            for (x, y) in a.data.iter().zip(&b_.data) {
+                assert!((x - y).abs() <= 2, "ICT roundtrip drifted: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn ict_grey_has_zero_chroma() {
+        let mut r = Plane::from_data(1, 1, vec![100]);
+        let mut g = r.clone();
+        let mut b = r.clone();
+        ict_forward(&mut r, &mut g, &mut b);
+        assert_eq!(r.data[0], 100);
+        assert_eq!(g.data[0], 0);
+        assert_eq!(b.data[0], 0);
+    }
+}

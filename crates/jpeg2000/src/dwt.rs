@@ -1,0 +1,442 @@
+//! Discrete wavelet transforms: LeGall 5/3 (reversible) and CDF 9/7
+//! (irreversible), as 1-D lifting with whole-sample symmetric extension
+//! plus separable 2-D multi-level versions in Mallat layout.
+//!
+//! The lossless JPEG 2000 path uses the integer 5/3 filter bank
+//! (`IDWT53` in the paper), the lossy path the Daubechies 9/7
+//! (`IDWT97`). Both appear as hardware blocks in the case study.
+
+/// 9/7 lifting constants (ITU-T T.800 Annex F).
+pub mod consts {
+    /// First predict step coefficient α.
+    pub const ALPHA: f64 = -1.586_134_342_059_924;
+    /// First update step coefficient β.
+    pub const BETA: f64 = -0.052_980_118_572_961;
+    /// Second predict step coefficient γ.
+    pub const GAMMA: f64 = 0.882_911_075_530_934;
+    /// Second update step coefficient δ.
+    pub const DELTA: f64 = 0.443_506_852_043_971;
+    /// Normalisation constant K (low band is scaled by 1/K so its DC gain
+    /// is exactly one).
+    pub const K: f64 = 1.230_174_104_914_001;
+}
+
+/// Reflects index `i` into `[0, n)` with whole-sample symmetry
+/// (`... 2 1 0 1 2 ... n-2 n-1 n-2 ...`).
+#[inline]
+fn mirror(i: isize, n: usize) -> usize {
+    let n = n as isize;
+    debug_assert!(n > 0);
+    let mut i = i;
+    // One reflection suffices for the ±2 reach of these filters,
+    // but loop for safety with tiny signals.
+    loop {
+        if i < 0 {
+            i = -i;
+        } else if i >= n {
+            i = 2 * (n - 1) - i;
+        } else {
+            return i as usize;
+        }
+        if n == 1 {
+            return 0;
+        }
+    }
+}
+
+/// Forward 5/3 lifting on an interleaved signal; after the call, even
+/// indices hold the low band and odd indices the high band.
+pub fn fdwt53_1d(x: &mut [i32]) {
+    let n = x.len();
+    if n < 2 {
+        return;
+    }
+    let get = |x: &[i32], i: isize| x[mirror(i, n)];
+    // Predict: high coefficients at odd positions.
+    let mut i = 1isize;
+    while (i as usize) < n {
+        let a = get(x, i - 1);
+        let b = get(x, i + 1);
+        x[i as usize] -= (a + b) >> 1;
+        i += 2;
+    }
+    // Update: low coefficients at even positions; their neighbours at odd
+    // indices are the freshly computed high coefficients.
+    let mut i = 0isize;
+    while (i as usize) < n {
+        let a = x[mirror(i - 1, n)];
+        let b = x[mirror(i + 1, n)];
+        x[i as usize] += (a + b + 2) >> 2;
+        i += 2;
+    }
+}
+
+/// Inverse 5/3 lifting on an interleaved signal (bit-exact inverse of
+/// [`fdwt53_1d`]).
+pub fn idwt53_1d(x: &mut [i32]) {
+    let n = x.len();
+    if n < 2 {
+        return;
+    }
+    // Undo update.
+    let mut i = 0isize;
+    while (i as usize) < n {
+        let a = x[mirror(i - 1, n)];
+        let b = x[mirror(i + 1, n)];
+        x[i as usize] -= (a + b + 2) >> 2;
+        i += 2;
+    }
+    // Undo predict.
+    let mut i = 1isize;
+    while (i as usize) < n {
+        let a = x[mirror(i - 1, n)];
+        let b = x[mirror(i + 1, n)];
+        x[i as usize] += (a + b) >> 1;
+        i += 2;
+    }
+}
+
+/// Forward 9/7 lifting on an interleaved signal; even indices become the
+/// (unit-DC-gain) low band, odd indices the high band.
+pub fn fdwt97_1d(x: &mut [f64]) {
+    let n = x.len();
+    if n < 2 {
+        return;
+    }
+    lift_odd(x, consts::ALPHA);
+    lift_even(x, consts::BETA);
+    lift_odd(x, consts::GAMMA);
+    lift_even(x, consts::DELTA);
+    let mut i = 0;
+    while i < n {
+        x[i] /= consts::K;
+        i += 2;
+    }
+    let mut i = 1;
+    while i < n {
+        x[i] *= consts::K;
+        i += 2;
+    }
+}
+
+/// Inverse 9/7 lifting on an interleaved signal.
+pub fn idwt97_1d(x: &mut [f64]) {
+    let n = x.len();
+    if n < 2 {
+        return;
+    }
+    let mut i = 0;
+    while i < n {
+        x[i] *= consts::K;
+        i += 2;
+    }
+    let mut i = 1;
+    while i < n {
+        x[i] /= consts::K;
+        i += 2;
+    }
+    lift_even(x, -consts::DELTA);
+    lift_odd(x, -consts::GAMMA);
+    lift_even(x, -consts::BETA);
+    lift_odd(x, -consts::ALPHA);
+}
+
+fn lift_odd(x: &mut [f64], c: f64) {
+    let n = x.len();
+    let mut i = 1isize;
+    while (i as usize) < n {
+        let a = x[mirror(i - 1, n)];
+        let b = x[mirror(i + 1, n)];
+        x[i as usize] += c * (a + b);
+        i += 2;
+    }
+}
+
+fn lift_even(x: &mut [f64], c: f64) {
+    let n = x.len();
+    let mut i = 0isize;
+    while (i as usize) < n {
+        let a = x[mirror(i - 1, n)];
+        let b = x[mirror(i + 1, n)];
+        x[i as usize] += c * (a + b);
+        i += 2;
+    }
+}
+
+/// Splits an interleaved lifted signal into `(low, high)` halves in place:
+/// evens first (`ceil(n/2)` low coefficients), then odds.
+fn deinterleave<T: Copy + Default>(row: &mut [T], scratch: &mut Vec<T>) {
+    let n = row.len();
+    scratch.clear();
+    scratch.extend_from_slice(row);
+    let half = n.div_ceil(2);
+    for (k, i) in (0..n).step_by(2).enumerate() {
+        row[k] = scratch[i];
+    }
+    for (k, i) in (1..n).step_by(2).enumerate() {
+        row[half + k] = scratch[i];
+    }
+}
+
+/// Inverse of [`deinterleave`].
+fn interleave<T: Copy + Default>(row: &mut [T], scratch: &mut Vec<T>) {
+    let n = row.len();
+    scratch.clear();
+    scratch.extend_from_slice(row);
+    let half = n.div_ceil(2);
+    for (k, i) in (0..n).step_by(2).enumerate() {
+        row[i] = scratch[k];
+    }
+    for (k, i) in (1..n).step_by(2).enumerate() {
+        row[i] = scratch[half + k];
+    }
+}
+
+/// Generic 2-D multi-level forward transform in Mallat layout.
+fn fdwt_2d<T: Copy + Default>(
+    data: &mut [T],
+    width: usize,
+    height: usize,
+    stride: usize,
+    levels: usize,
+    lift: &dyn Fn(&mut [T]),
+) {
+    let (mut w, mut h) = (width, height);
+    let mut rowbuf: Vec<T> = Vec::new();
+    let mut colbuf: Vec<T> = Vec::new();
+    let mut scratch: Vec<T> = Vec::new();
+    for _ in 0..levels {
+        if w < 2 && h < 2 {
+            break;
+        }
+        // Rows.
+        for y in 0..h {
+            rowbuf.clear();
+            rowbuf.extend_from_slice(&data[y * stride..y * stride + w]);
+            lift(&mut rowbuf);
+            deinterleave(&mut rowbuf, &mut scratch);
+            data[y * stride..y * stride + w].copy_from_slice(&rowbuf);
+        }
+        // Columns.
+        for x in 0..w {
+            colbuf.clear();
+            colbuf.extend((0..h).map(|y| data[y * stride + x]));
+            lift(&mut colbuf);
+            deinterleave(&mut colbuf, &mut scratch);
+            for (y, v) in colbuf.iter().enumerate() {
+                data[y * stride + x] = *v;
+            }
+        }
+        w = w.div_ceil(2);
+        h = h.div_ceil(2);
+    }
+}
+
+/// Generic 2-D multi-level inverse transform in Mallat layout.
+fn idwt_2d<T: Copy + Default>(
+    data: &mut [T],
+    width: usize,
+    height: usize,
+    stride: usize,
+    levels: usize,
+    unlift: &dyn Fn(&mut [T]),
+) {
+    // Reconstruct the per-level region sizes, then undo from the deepest.
+    let mut dims = Vec::new();
+    let (mut w, mut h) = (width, height);
+    for _ in 0..levels {
+        if w < 2 && h < 2 {
+            break;
+        }
+        dims.push((w, h));
+        w = w.div_ceil(2);
+        h = h.div_ceil(2);
+    }
+    let mut rowbuf: Vec<T> = Vec::new();
+    let mut colbuf: Vec<T> = Vec::new();
+    let mut scratch: Vec<T> = Vec::new();
+    for &(w, h) in dims.iter().rev() {
+        // Columns first (inverse order of the forward pass).
+        for x in 0..w {
+            colbuf.clear();
+            colbuf.extend((0..h).map(|y| data[y * stride + x]));
+            interleave(&mut colbuf, &mut scratch);
+            unlift(&mut colbuf);
+            for (y, v) in colbuf.iter().enumerate() {
+                data[y * stride + x] = *v;
+            }
+        }
+        // Rows.
+        for y in 0..h {
+            rowbuf.clear();
+            rowbuf.extend_from_slice(&data[y * stride..y * stride + w]);
+            interleave(&mut rowbuf, &mut scratch);
+            unlift(&mut rowbuf);
+            data[y * stride..y * stride + w].copy_from_slice(&rowbuf);
+        }
+    }
+}
+
+/// Multi-level forward 5/3 on a `width × height` plane (row-major,
+/// `stride == width`), result in Mallat subband layout.
+pub fn fdwt53_2d(data: &mut [i32], width: usize, height: usize, levels: usize) {
+    fdwt_2d(data, width, height, width, levels, &|r| fdwt53_1d(r));
+}
+
+/// Multi-level inverse 5/3 (bit-exact inverse of [`fdwt53_2d`]).
+pub fn idwt53_2d(data: &mut [i32], width: usize, height: usize, levels: usize) {
+    idwt_2d(data, width, height, width, levels, &|r| idwt53_1d(r));
+}
+
+/// Multi-level forward 9/7 on a `width × height` plane.
+pub fn fdwt97_2d(data: &mut [f64], width: usize, height: usize, levels: usize) {
+    fdwt_2d(data, width, height, width, levels, &|r| fdwt97_1d(r));
+}
+
+/// Multi-level inverse 9/7.
+pub fn idwt97_2d(data: &mut [f64], width: usize, height: usize, levels: usize) {
+    idwt_2d(data, width, height, width, levels, &|r| idwt97_1d(r));
+}
+
+/// Number of decomposition levels actually applied to a `width × height`
+/// region when `levels` are requested (tiny regions stop early, mirroring
+/// the transform loops above).
+pub fn effective_levels(width: usize, height: usize, levels: usize) -> usize {
+    let (mut w, mut h) = (width, height);
+    let mut applied = 0;
+    for _ in 0..levels {
+        if w < 2 && h < 2 {
+            break;
+        }
+        applied += 1;
+        w = w.div_ceil(2);
+        h = h.div_ceil(2);
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<i32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-128..=127)).collect()
+    }
+
+    #[test]
+    fn dwt53_1d_perfect_reconstruction_many_lengths() {
+        for n in 1..=33 {
+            let orig = random_signal(n, n as u64);
+            let mut x = orig.clone();
+            fdwt53_1d(&mut x);
+            idwt53_1d(&mut x);
+            assert_eq!(x, orig, "length {n}");
+        }
+    }
+
+    #[test]
+    fn dwt53_constant_signal_has_zero_high_band() {
+        let mut x = vec![77i32; 16];
+        fdwt53_1d(&mut x);
+        for i in (1..16).step_by(2) {
+            assert_eq!(x[i], 0, "high coefficient {i}");
+        }
+        for i in (0..16).step_by(2) {
+            assert_eq!(x[i], 77, "low coefficient keeps DC (gain 1)");
+        }
+    }
+
+    #[test]
+    fn dwt97_1d_perfect_reconstruction() {
+        for n in 1..=33 {
+            let orig: Vec<f64> = random_signal(n, 100 + n as u64)
+                .into_iter()
+                .map(|v| v as f64)
+                .collect();
+            let mut x = orig.clone();
+            fdwt97_1d(&mut x);
+            idwt97_1d(&mut x);
+            for (a, b) in x.iter().zip(&orig) {
+                assert!((a - b).abs() < 1e-9, "length {n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dwt97_constant_signal_dc_gain_one() {
+        let mut x = vec![50.0f64; 32];
+        fdwt97_1d(&mut x);
+        for i in (1..32).step_by(2) {
+            assert!(x[i].abs() < 1e-9, "high band should vanish");
+        }
+        for i in (0..32).step_by(2) {
+            assert!((x[i] - 50.0).abs() < 1e-9, "low band DC gain 1");
+        }
+    }
+
+    #[test]
+    fn dwt53_2d_multilevel_roundtrip_odd_sizes() {
+        for &(w, h, levels) in &[(8usize, 8usize, 3usize), (17, 13, 4), (5, 9, 2), (1, 7, 2), (16, 1, 3)] {
+            let orig = random_signal(w * h, (w * h) as u64);
+            let mut x = orig.clone();
+            fdwt53_2d(&mut x, w, h, levels);
+            idwt53_2d(&mut x, w, h, levels);
+            assert_eq!(x, orig, "{w}x{h} levels {levels}");
+        }
+    }
+
+    #[test]
+    fn dwt97_2d_multilevel_roundtrip() {
+        for &(w, h, levels) in &[(8usize, 8usize, 3usize), (17, 13, 4), (31, 15, 5)] {
+            let orig: Vec<f64> = random_signal(w * h, (w + h) as u64)
+                .into_iter()
+                .map(|v| v as f64)
+                .collect();
+            let mut x = orig.clone();
+            fdwt97_2d(&mut x, w, h, levels);
+            idwt97_2d(&mut x, w, h, levels);
+            for (a, b) in x.iter().zip(&orig) {
+                assert!((a - b).abs() < 1e-6, "{w}x{h}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_compaction_on_smooth_image() {
+        // A smooth ramp must concentrate magnitude into the LL corner.
+        let (w, h) = (16usize, 16usize);
+        let mut x: Vec<i32> = (0..w * h).map(|i| ((i % w) + (i / w)) as i32 * 4).collect();
+        fdwt53_2d(&mut x, w, h, 2);
+        let ll: i64 = (0..4)
+            .flat_map(|y| (0..4).map(move |x_| (x_, y)))
+            .map(|(cx, cy)| (x[cy * w + cx] as i64).abs())
+            .sum();
+        let total: i64 = x.iter().map(|&v| (v as i64).abs()).sum();
+        assert!(
+            ll * 2 > total,
+            "LL (16 of 256 samples) should hold most magnitude: {ll} of {total}"
+        );
+    }
+
+    #[test]
+    fn effective_levels_stops_on_tiny_regions() {
+        assert_eq!(effective_levels(64, 64, 3), 3);
+        assert_eq!(effective_levels(1, 1, 5), 0);
+        assert_eq!(effective_levels(2, 2, 5), 1);
+        assert_eq!(effective_levels(1, 8, 5), 3);
+    }
+
+    #[test]
+    fn mirror_reflection() {
+        assert_eq!(mirror(-1, 8), 1);
+        assert_eq!(mirror(-2, 8), 2);
+        assert_eq!(mirror(8, 8), 6);
+        assert_eq!(mirror(9, 8), 5);
+        assert_eq!(mirror(3, 8), 3);
+        assert_eq!(mirror(2, 2), 0);
+        assert_eq!(mirror(-1, 1), 0);
+    }
+}

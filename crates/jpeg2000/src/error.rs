@@ -1,0 +1,69 @@
+//! Codec error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding or decoding a codestream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The codestream ended before a complete structure could be read.
+    Truncated {
+        /// What was being parsed when the data ran out.
+        context: &'static str,
+    },
+    /// A marker or field value is not what the parser expected.
+    Malformed {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// Encode-side parameter validation failure.
+    InvalidParams {
+        /// Which parameter and why.
+        detail: String,
+    },
+}
+
+impl CodecError {
+    pub(crate) fn malformed(detail: impl Into<String>) -> Self {
+        CodecError::Malformed {
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn invalid(detail: impl Into<String>) -> Self {
+        CodecError::InvalidParams {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { context } => {
+                write!(f, "codestream truncated while reading {context}")
+            }
+            CodecError::Malformed { detail } => write!(f, "malformed codestream: {detail}"),
+            CodecError::InvalidParams { detail } => write!(f, "invalid parameters: {detail}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Result alias for codec operations.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CodecError::Truncated { context: "SIZ" };
+        assert_eq!(e.to_string(), "codestream truncated while reading SIZ");
+        assert!(CodecError::malformed("bad marker").to_string().contains("bad marker"));
+        assert!(CodecError::invalid("tile size 0").to_string().contains("tile size 0"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # jpeg2000 — a self-contained JPEG 2000 Part-1 style codec
+//!
+//! The DATE 2008 OSSS case study decodes JPEG 2000 imagery: MQ arithmetic
+//! decoding (EBCOT Tier-1), inverse quantisation, inverse DWT (5/3
+//! lossless, 9/7 lossy), inverse component transform and DC level shift,
+//! processed tile by tile. The original study consumed a proprietary
+//! Thales C++ implementation and conformance imagery; neither is available
+//! offline, so this crate implements **both the encoder and the decoder**
+//! from the published Part-1 algorithms — the encoder generates the
+//! workload, the decoder is the system under study.
+//!
+//! Pipeline (decoder direction):
+//!
+//! ```text
+//! codestream ─▶ T2 packets ─▶ MQ/T1 entropy decode ─▶ IQ ─▶ IDWT ─▶ ICT/RCT ─▶ DC shift ─▶ image
+//! ```
+//!
+//! * [`mq`] — the MQ binary arithmetic coder (47-state table, byte stuffing).
+//! * [`t1`] — EBCOT Tier-1 bit-plane coding (3 passes, 19 contexts).
+//! * [`t2`] — tag trees and packet headers (single layer, LRCP).
+//! * [`dwt`] — LeGall 5/3 (reversible) and CDF 9/7 (irreversible) lifting.
+//! * [`quant`] — dead-zone scalar quantiser.
+//! * [`ct`] — RCT/ICT component transforms and DC level shift.
+//! * [`codestream`] — marker-segment writer/parser.
+//! * [`codec`] — tiled top-level [`codec::encode`] / [`codec::decode`],
+//!   plus the stage-instrumented decoder behind the Figure-1 profile.
+//!
+//! ## Example
+//!
+//! ```
+//! use jpeg2000::image::Image;
+//! use jpeg2000::codec::{encode, decode, EncodeParams, Mode};
+//!
+//! # fn main() -> Result<(), jpeg2000::error::CodecError> {
+//! let img = Image::synthetic_rgb(64, 64, 7);
+//! let bytes = encode(&img, &EncodeParams::new(Mode::Lossless))?;
+//! let out = decode(&bytes)?;
+//! assert_eq!(img, out.image); // 5/3 + RCT is bit-exact
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codec;
+pub mod codestream;
+pub mod ct;
+pub mod dwt;
+pub mod error;
+pub mod image;
+pub mod io;
+pub mod mq;
+pub mod quant;
+pub mod t1;
+pub mod t2;
+pub mod tile;

@@ -1,0 +1,120 @@
+//! Dead-zone scalar quantisation (the case study's IQ stage inverts this).
+
+use crate::tile::BandKind;
+
+/// How coefficients are quantised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantMode {
+    /// Reversible path (5/3): integer coefficients pass through unscaled.
+    Reversible,
+    /// Irreversible path (9/7): dead-zone quantiser with the given base
+    /// step size; per-band steps derive from it via [`band_step`].
+    Irreversible {
+        /// Step size applied to the LL band; higher bands use multiples.
+        base_step: f64,
+    },
+}
+
+/// The quantisation step for `kind` under `mode` (1.0 for reversible).
+///
+/// High-frequency bands get coarser steps, mirroring the usual visual
+/// weighting: LL × 1, HL/LH × 2, HH × 4.
+pub fn band_step(mode: QuantMode, kind: BandKind) -> f64 {
+    match mode {
+        QuantMode::Reversible => 1.0,
+        QuantMode::Irreversible { base_step } => {
+            let w = match kind {
+                BandKind::Ll => 1.0,
+                BandKind::Hl | BandKind::Lh => 2.0,
+                BandKind::Hh => 4.0,
+            };
+            base_step * w
+        }
+    }
+}
+
+/// Dead-zone quantisation of one real coefficient:
+/// `q = sign(c) · ⌊|c| / Δ⌋`.
+#[inline]
+pub fn quantize(c: f64, step: f64) -> i32 {
+    let q = (c.abs() / step).floor() as i32;
+    if c < 0.0 {
+        -q
+    } else {
+        q
+    }
+}
+
+/// Mid-point reconstruction (the *inverse quantisation* / IQ stage):
+/// `c ≈ sign(q) · (|q| + 1/2) · Δ`, zero stays zero.
+#[inline]
+pub fn dequantize(q: i32, step: f64) -> f64 {
+    if q == 0 {
+        0.0
+    } else if q > 0 {
+        (q as f64 + 0.5) * step
+    } else {
+        (q as f64 - 0.5) * step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversible_steps_are_unity() {
+        for kind in [BandKind::Ll, BandKind::Hl, BandKind::Lh, BandKind::Hh] {
+            assert_eq!(band_step(QuantMode::Reversible, kind), 1.0);
+        }
+    }
+
+    #[test]
+    fn irreversible_steps_weight_high_bands() {
+        let mode = QuantMode::Irreversible { base_step: 0.5 };
+        assert_eq!(band_step(mode, BandKind::Ll), 0.5);
+        assert_eq!(band_step(mode, BandKind::Hl), 1.0);
+        assert_eq!(band_step(mode, BandKind::Lh), 1.0);
+        assert_eq!(band_step(mode, BandKind::Hh), 2.0);
+    }
+
+    #[test]
+    fn quantize_is_odd_symmetric() {
+        for &c in &[0.0, 0.4, 0.6, 1.4, 17.9, 123.456] {
+            assert_eq!(quantize(-c, 0.5), -quantize(c, 0.5));
+        }
+    }
+
+    #[test]
+    fn dead_zone_is_twice_the_step() {
+        // |c| < step quantises to zero on both sides of the origin.
+        assert_eq!(quantize(0.49, 0.5), 0);
+        assert_eq!(quantize(-0.49, 0.5), 0);
+        assert_eq!(quantize(0.51, 0.5), 1);
+        assert_eq!(quantize(-0.51, 0.5), -1);
+    }
+
+    #[test]
+    fn reconstruction_error_is_bounded_by_half_step() {
+        let step = 0.75;
+        for i in -2000..2000 {
+            let c = i as f64 * 0.1;
+            let q = quantize(c, step);
+            let r = dequantize(q, step);
+            if q != 0 {
+                assert!(
+                    (c - r).abs() <= step / 2.0 + 1e-9,
+                    "c={c} r={r} step={step}"
+                );
+            } else {
+                assert!(c.abs() < step, "dead zone: c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_roundtrips_exactly() {
+        assert_eq!(quantize(0.0, 0.5), 0);
+        assert_eq!(dequantize(0, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,958 @@
+//! EBCOT Tier-1: context-adaptive bit-plane coding of code-blocks
+//! (ITU-T T.800 Annex D).
+//!
+//! Each code-block's quantised magnitudes are coded bit-plane by bit-plane
+//! in three passes — significance propagation, magnitude refinement and
+//! cleanup — through the [`crate::mq`] arithmetic coder with 19 adaptive
+//! contexts. Together with the MQ coder this is the stage the paper calls
+//! the *arithmetic decoder*, the one that consumes ~88 % of the decode
+//! time and gets parallelised four ways in model versions 4/5.
+
+use crate::mq::{MqContext, MqDecoder, MqEncoder};
+use crate::tile::BandKind;
+
+/// Number of adaptive contexts used by Tier-1.
+pub const NUM_CONTEXTS: usize = 19;
+
+// Context index blocks.
+const CTX_ZC: usize = 0; // 0..=8  zero coding / significance
+const CTX_SC: usize = 9; // 9..=13 sign coding
+const CTX_MR: usize = 14; // 14..=16 magnitude refinement
+const CTX_RL: usize = 17; // run-length
+const CTX_UNI: usize = 18; // uniform
+
+// Per-sample state flags.
+const F_SIG: u8 = 1;
+const F_VISITED: u8 = 2;
+const F_REFINED: u8 = 4;
+
+/// Result of encoding one code-block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct T1EncodedBlock {
+    /// The MQ codeword segment (all passes, single segment).
+    pub data: Vec<u8>,
+    /// Number of coding passes contained (`3·Mb − 2`, or 0 for an
+    /// all-zero block).
+    pub num_passes: u32,
+    /// Number of magnitude bit-planes `Mb`.
+    pub num_bitplanes: u8,
+}
+
+/// The initial context states mandated by the standard: UNIFORM starts at
+/// state 46, run-length at 3, the all-zero-neighbourhood ZC context at 4,
+/// everything else at 0.
+pub fn initial_contexts() -> [MqContext; NUM_CONTEXTS] {
+    let mut ctxs = [MqContext::with_state(0); NUM_CONTEXTS];
+    ctxs[CTX_ZC] = MqContext::with_state(4);
+    ctxs[CTX_RL] = MqContext::with_state(3);
+    ctxs[CTX_UNI] = MqContext::with_state(46);
+    ctxs
+}
+
+struct Grid<'a> {
+    w: usize,
+    h: usize,
+    flags: &'a [u8],
+    negative: &'a [bool],
+}
+
+impl Grid<'_> {
+    #[inline]
+    fn sig(&self, x: isize, y: isize) -> bool {
+        if x < 0 || y < 0 || x as usize >= self.w || y as usize >= self.h {
+            return false;
+        }
+        self.flags[y as usize * self.w + x as usize] & F_SIG != 0
+    }
+
+    /// Sign contribution of a neighbour: +1 significant positive,
+    /// −1 significant negative, 0 insignificant/outside.
+    #[inline]
+    fn contrib(&self, x: isize, y: isize) -> i32 {
+        if x < 0 || y < 0 || x as usize >= self.w || y as usize >= self.h {
+            return 0;
+        }
+        let i = y as usize * self.w + x as usize;
+        if self.flags[i] & F_SIG == 0 {
+            0
+        } else if self.negative[i] {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// `(horizontal, vertical, diagonal)` significant-neighbour counts.
+    fn counts(&self, x: usize, y: usize) -> (u32, u32, u32) {
+        let (x, y) = (x as isize, y as isize);
+        let h = self.sig(x - 1, y) as u32 + self.sig(x + 1, y) as u32;
+        let v = self.sig(x, y - 1) as u32 + self.sig(x, y + 1) as u32;
+        let d = self.sig(x - 1, y - 1) as u32
+            + self.sig(x + 1, y - 1) as u32
+            + self.sig(x - 1, y + 1) as u32
+            + self.sig(x + 1, y + 1) as u32;
+        (h, v, d)
+    }
+
+    /// Zero-coding context (0..=8) for the sample, per band orientation.
+    fn zc_context(&self, x: usize, y: usize, kind: BandKind) -> usize {
+        let (h, v, d) = self.counts(x, y);
+        let raw = match kind {
+            BandKind::Ll | BandKind::Lh => zc_table_hv(h, v, d),
+            BandKind::Hl => zc_table_hv(v, h, d),
+            BandKind::Hh => zc_table_diag(d, h + v),
+        };
+        CTX_ZC + raw
+    }
+
+    /// Sign-coding context (9..=13) and XOR bit.
+    fn sc_context(&self, x: usize, y: usize) -> (usize, bool) {
+        let (x, y) = (x as isize, y as isize);
+        let hc = (self.contrib(x - 1, y) + self.contrib(x + 1, y)).clamp(-1, 1);
+        let vc = (self.contrib(x, y - 1) + self.contrib(x, y + 1)).clamp(-1, 1);
+        let (off, xor) = match (hc, vc) {
+            (1, 1) => (4, false),
+            (1, 0) => (3, false),
+            (1, -1) => (2, false),
+            (0, 1) => (1, false),
+            (0, 0) => (0, false),
+            (0, -1) => (1, true),
+            (-1, 1) => (2, true),
+            (-1, 0) => (3, true),
+            (-1, -1) => (4, true),
+            _ => unreachable!("contributions clamped to [-1, 1]"),
+        };
+        (CTX_SC + off, xor)
+    }
+
+    /// Magnitude-refinement context (14..=16).
+    fn mr_context(&self, x: usize, y: usize, refined: bool) -> usize {
+        if refined {
+            return CTX_MR + 2;
+        }
+        let (h, v, d) = self.counts(x, y);
+        if h + v + d > 0 {
+            CTX_MR + 1
+        } else {
+            CTX_MR
+        }
+    }
+}
+
+/// The LL/LH significance table (HL uses it with h and v swapped).
+fn zc_table_hv(h: u32, v: u32, d: u32) -> usize {
+    match h {
+        2 => 8,
+        1 => {
+            if v >= 1 {
+                7
+            } else if d >= 1 {
+                6
+            } else {
+                5
+            }
+        }
+        _ => match v {
+            2 => 4,
+            1 => 3,
+            _ => {
+                if d >= 2 {
+                    2
+                } else if d == 1 {
+                    1
+                } else {
+                    0
+                }
+            }
+        },
+    }
+}
+
+/// The HH significance table, keyed on the diagonal count first.
+fn zc_table_diag(d: u32, hv: u32) -> usize {
+    match d {
+        0 => {
+            if hv >= 2 {
+                2
+            } else if hv == 1 {
+                1
+            } else {
+                0
+            }
+        }
+        1 => {
+            if hv >= 2 {
+                5
+            } else if hv == 1 {
+                4
+            } else {
+                3
+            }
+        }
+        2 => {
+            if hv >= 1 {
+                7
+            } else {
+                6
+            }
+        }
+        _ => 8,
+    }
+}
+
+/// Encodes one code-block of quantised coefficients.
+///
+/// `mags` holds the magnitudes, `negative` the sign of each sample
+/// (`true` = negative), both row-major `w × h`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `w * h`.
+pub fn encode_block(
+    mags: &[u32],
+    negative: &[bool],
+    w: usize,
+    h: usize,
+    kind: BandKind,
+) -> T1EncodedBlock {
+    let (mut segments, mb) = encode_block_layers(mags, negative, w, h, kind, 1);
+    match segments.pop() {
+        Some(seg) => T1EncodedBlock {
+            data: seg.data,
+            num_passes: seg.num_passes,
+            num_bitplanes: mb,
+        },
+        None => T1EncodedBlock {
+            data: Vec::new(),
+            num_passes: 0,
+            num_bitplanes: 0,
+        },
+    }
+}
+
+/// One coding pass of the EBCOT schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PassKind {
+    Significance,
+    Refinement,
+    Cleanup,
+}
+
+/// The EBCOT pass schedule for `mb` bit-planes: cleanup only on the most
+/// significant plane, all three passes below it. The boolean marks passes
+/// after which the per-plane VISITED flags reset.
+fn pass_sequence(mb: u32) -> Vec<(PassKind, u32, bool)> {
+    let mut seq = Vec::new();
+    for p in (0..mb).rev() {
+        if p != mb - 1 {
+            seq.push((PassKind::Significance, p, false));
+            seq.push((PassKind::Refinement, p, false));
+        }
+        seq.push((PassKind::Cleanup, p, true));
+    }
+    seq
+}
+
+/// One MQ codeword segment of a layered code-block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct T1Segment {
+    /// The terminated MQ codeword covering this segment's passes.
+    pub data: Vec<u8>,
+    /// Number of coding passes in the segment.
+    pub num_passes: u32,
+}
+
+/// Encodes one code-block into `num_layers` independently terminated MQ
+/// codeword segments (the standard's codeword-termination mode): contexts
+/// persist across segments, but each segment's arithmetic codeword is
+/// flushed, so a decoder holding only the first *k* segments can decode
+/// exactly their passes — the mechanism behind quality layers.
+///
+/// Passes distribute evenly over layers with earlier layers taking the
+/// remainder (most-significant data first). Returns the segments (empty
+/// for an all-zero block) and the bit-plane count `Mb`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `w * h` or `num_layers == 0`.
+pub fn encode_block_layers(
+    mags: &[u32],
+    negative: &[bool],
+    w: usize,
+    h: usize,
+    kind: BandKind,
+    num_layers: usize,
+) -> (Vec<T1Segment>, u8) {
+    assert_eq!(mags.len(), w * h);
+    assert_eq!(negative.len(), w * h);
+    assert!(num_layers > 0, "at least one layer");
+    let mb = mags
+        .iter()
+        .map(|&m| 32 - m.leading_zeros())
+        .max()
+        .unwrap_or(0) as u8;
+    if mb == 0 {
+        return (Vec::new(), 0);
+    }
+    let seq = pass_sequence(mb as u32);
+    let total = seq.len();
+    // Contiguous pass ranges per layer, remainder to the earliest layers.
+    let mut boundaries = Vec::with_capacity(num_layers);
+    let (base, rem) = (total / num_layers, total % num_layers);
+    let mut acc = 0usize;
+    for l in 0..num_layers {
+        acc += base + usize::from(l < rem);
+        boundaries.push(acc);
+    }
+
+    let mut flags = vec![0u8; w * h];
+    let mut ctxs = initial_contexts();
+    let mut mq = MqEncoder::new();
+    let mut segments = Vec::with_capacity(num_layers);
+    let mut passes_in_segment = 0u32;
+    let mut next_boundary = 0usize;
+    for (i, &(pass, p, clear)) in seq.iter().enumerate() {
+        match pass {
+            PassKind::Significance => {
+                enc_sig_pass(&mut mq, &mut ctxs, &mut flags, mags, negative, w, h, kind, p)
+            }
+            PassKind::Refinement => {
+                enc_ref_pass(&mut mq, &mut ctxs, &mut flags, mags, negative, w, h, p)
+            }
+            PassKind::Cleanup => {
+                enc_cleanup_pass(&mut mq, &mut ctxs, &mut flags, mags, negative, w, h, kind, p)
+            }
+        }
+        if clear {
+            for f in &mut flags {
+                *f &= !F_VISITED;
+            }
+        }
+        passes_in_segment += 1;
+        if i + 1 == boundaries[next_boundary] {
+            let done = std::mem::take(&mut mq);
+            segments.push(T1Segment {
+                data: done.finish(),
+                num_passes: passes_in_segment,
+            });
+            passes_in_segment = 0;
+            next_boundary += 1;
+        }
+    }
+    debug_assert_eq!(passes_in_segment, 0, "all passes flushed");
+    (segments, mb)
+}
+
+/// Iterates the stripe-oriented scan, invoking `f(x, y, stripe_height,
+/// index_in_stripe_column)` for every sample.
+fn stripe_scan(w: usize, h: usize, mut f: impl FnMut(usize, usize, usize, usize)) {
+    let mut sy = 0;
+    while sy < h {
+        let sh = (h - sy).min(4);
+        for x in 0..w {
+            for dy in 0..sh {
+                f(x, sy + dy, sh, dy);
+            }
+        }
+        sy += 4;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enc_sig_pass(
+    mq: &mut MqEncoder,
+    ctxs: &mut [MqContext; NUM_CONTEXTS],
+    flags: &mut [u8],
+    mags: &[u32],
+    negative: &[bool],
+    w: usize,
+    h: usize,
+    kind: BandKind,
+    p: u32,
+) {
+    stripe_scan(w, h, |x, y, _, _| {
+        let i = y * w + x;
+        if flags[i] & F_SIG != 0 {
+            return;
+        }
+        let grid = Grid {
+            w,
+            h,
+            flags,
+            negative,
+        };
+        let zc = grid.zc_context(x, y, kind);
+        if zc == CTX_ZC {
+            return; // no significant neighbour: not in this pass
+        }
+        let bit = (mags[i] >> p) & 1 != 0;
+        mq.encode(&mut ctxs[zc], bit);
+        if bit {
+            let (sc, xor) = grid.sc_context(x, y);
+            mq.encode(&mut ctxs[sc], negative[i] ^ xor);
+            flags[i] |= F_SIG;
+        }
+        flags[i] |= F_VISITED;
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enc_ref_pass(
+    mq: &mut MqEncoder,
+    ctxs: &mut [MqContext; NUM_CONTEXTS],
+    flags: &mut [u8],
+    mags: &[u32],
+    negative: &[bool],
+    w: usize,
+    h: usize,
+    p: u32,
+) {
+    stripe_scan(w, h, |x, y, _, _| {
+        let i = y * w + x;
+        if flags[i] & F_SIG == 0 || flags[i] & F_VISITED != 0 {
+            return;
+        }
+        let grid = Grid {
+            w,
+            h,
+            flags,
+            negative,
+        };
+        let mr = grid.mr_context(x, y, flags[i] & F_REFINED != 0);
+        mq.encode(&mut ctxs[mr], (mags[i] >> p) & 1 != 0);
+        flags[i] |= F_REFINED;
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enc_cleanup_pass(
+    mq: &mut MqEncoder,
+    ctxs: &mut [MqContext; NUM_CONTEXTS],
+    flags: &mut [u8],
+    mags: &[u32],
+    negative: &[bool],
+    w: usize,
+    h: usize,
+    kind: BandKind,
+    p: u32,
+) {
+    let mut sy = 0;
+    while sy < h {
+        let sh = (h - sy).min(4);
+        for x in 0..w {
+            let mut dy = 0;
+            // Run-length mode: a full stripe column, all four samples
+            // uncoded, insignificant and with empty neighbourhoods.
+            if sh == 4 {
+                let rl_eligible = (0..4).all(|k| {
+                    let i = (sy + k) * w + x;
+                    let grid = Grid {
+                        w,
+                        h,
+                        flags,
+                        negative,
+                    };
+                    flags[i] & (F_SIG | F_VISITED) == 0
+                        && grid.zc_context(x, sy + k, kind) == CTX_ZC
+                });
+                if rl_eligible {
+                    let first_one =
+                        (0..4).find(|&k| (mags[(sy + k) * w + x] >> p) & 1 != 0);
+                    match first_one {
+                        None => {
+                            mq.encode(&mut ctxs[CTX_RL], false);
+                            continue; // whole column stays zero
+                        }
+                        Some(k) => {
+                            mq.encode(&mut ctxs[CTX_RL], true);
+                            mq.encode(&mut ctxs[CTX_UNI], k & 2 != 0);
+                            mq.encode(&mut ctxs[CTX_UNI], k & 1 != 0);
+                            let y = sy + k;
+                            let i = y * w + x;
+                            let grid = Grid {
+                                w,
+                                h,
+                                flags,
+                                negative,
+                            };
+                            let (sc, xor) = grid.sc_context(x, y);
+                            mq.encode(&mut ctxs[sc], negative[i] ^ xor);
+                            flags[i] |= F_SIG;
+                            dy = k + 1;
+                        }
+                    }
+                }
+            }
+            // Remaining samples of the column: normal cleanup coding.
+            while dy < sh {
+                let y = sy + dy;
+                let i = y * w + x;
+                if flags[i] & (F_SIG | F_VISITED) == 0 {
+                    let grid = Grid {
+                        w,
+                        h,
+                        flags,
+                        negative,
+                    };
+                    let zc = grid.zc_context(x, y, kind);
+                    let bit = (mags[i] >> p) & 1 != 0;
+                    mq.encode(&mut ctxs[zc], bit);
+                    if bit {
+                        let (sc, xor) = grid.sc_context(x, y);
+                        mq.encode(&mut ctxs[sc], negative[i] ^ xor);
+                        flags[i] |= F_SIG;
+                    }
+                }
+                dy += 1;
+            }
+        }
+        sy += 4;
+    }
+}
+
+/// Decodes one code-block back into `(magnitudes, negative)` arrays.
+///
+/// `num_passes` is the pass count from the packet header; the number of
+/// bit-planes is `(num_passes + 2) / 3`.
+pub fn decode_block(
+    data: &[u8],
+    w: usize,
+    h: usize,
+    kind: BandKind,
+    num_passes: u32,
+) -> (Vec<u32>, Vec<bool>) {
+    if num_passes == 0 {
+        return (vec![0; w * h], vec![false; w * h]);
+    }
+    let mb = num_passes.div_ceil(3);
+    decode_block_segments(&[(data, num_passes)], w, h, kind, mb as u8)
+}
+
+/// Decodes a code-block from one or more terminated codeword segments
+/// (the layered form of [`encode_block_layers`]). `mb` is the bit-plane
+/// count signalled by the packet header's zero-bit-plane field; fewer
+/// passes than the full schedule yield the standard's partial (quality-
+/// truncated) reconstruction.
+pub fn decode_block_segments(
+    segments: &[(&[u8], u32)],
+    w: usize,
+    h: usize,
+    kind: BandKind,
+    mb: u8,
+) -> (Vec<u32>, Vec<bool>) {
+    let mut mags = vec![0u32; w * h];
+    let mut negative = vec![false; w * h];
+    if mb == 0 || w == 0 || h == 0 || segments.is_empty() {
+        return (mags, negative);
+    }
+    let seq = pass_sequence(mb as u32);
+    let total_passes: u32 = segments.iter().map(|&(_, n)| n).sum();
+    let mut flags = vec![0u8; w * h];
+    let mut ctxs = initial_contexts();
+    let mut seg_iter = segments.iter();
+    let (mut seg_data, mut seg_left) = match seg_iter.next() {
+        Some(&(d, n)) => (d, n),
+        None => return (mags, negative),
+    };
+    let mut mq = MqDecoder::new(seg_data);
+    for &(pass, p, clear) in seq.iter().take(total_passes as usize) {
+        while seg_left == 0 {
+            match seg_iter.next() {
+                Some(&(d, n)) => {
+                    seg_data = d;
+                    seg_left = n;
+                    mq = MqDecoder::new(seg_data);
+                }
+                None => return (mags, negative),
+            }
+        }
+        match pass {
+            PassKind::Significance => dec_sig_pass(
+                &mut mq, &mut ctxs, &mut flags, &mut mags, &mut negative, w, h, kind, p,
+            ),
+            PassKind::Refinement => {
+                dec_ref_pass(&mut mq, &mut ctxs, &mut flags, &mut mags, &negative, w, h, p)
+            }
+            PassKind::Cleanup => dec_cleanup_pass(
+                &mut mq, &mut ctxs, &mut flags, &mut mags, &mut negative, w, h, kind, p,
+            ),
+        }
+        if clear {
+            for f in &mut flags {
+                *f &= !F_VISITED;
+            }
+        }
+        seg_left -= 1;
+    }
+    (mags, negative)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dec_sig_pass(
+    mq: &mut MqDecoder<'_>,
+    ctxs: &mut [MqContext; NUM_CONTEXTS],
+    flags: &mut [u8],
+    mags: &mut [u32],
+    negative: &mut [bool],
+    w: usize,
+    h: usize,
+    kind: BandKind,
+    p: u32,
+) {
+    stripe_scan(w, h, |x, y, _, _| {
+        let i = y * w + x;
+        if flags[i] & F_SIG != 0 {
+            return;
+        }
+        let zc = {
+            let grid = Grid {
+                w,
+                h,
+                flags,
+                negative,
+            };
+            grid.zc_context(x, y, kind)
+        };
+        if zc == CTX_ZC {
+            return;
+        }
+        let bit = mq.decode(&mut ctxs[zc]);
+        if bit {
+            let (sc, xor) = {
+                let grid = Grid {
+                    w,
+                    h,
+                    flags,
+                    negative,
+                };
+                grid.sc_context(x, y)
+            };
+            let sbit = mq.decode(&mut ctxs[sc]);
+            negative[i] = sbit ^ xor;
+            mags[i] |= 1 << p;
+            flags[i] |= F_SIG;
+        }
+        flags[i] |= F_VISITED;
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dec_ref_pass(
+    mq: &mut MqDecoder<'_>,
+    ctxs: &mut [MqContext; NUM_CONTEXTS],
+    flags: &mut [u8],
+    mags: &mut [u32],
+    negative: &[bool],
+    w: usize,
+    h: usize,
+    p: u32,
+) {
+    stripe_scan(w, h, |x, y, _, _| {
+        let i = y * w + x;
+        if flags[i] & F_SIG == 0 || flags[i] & F_VISITED != 0 {
+            return;
+        }
+        let mr = {
+            let grid = Grid {
+                w,
+                h,
+                flags,
+                negative,
+            };
+            grid.mr_context(x, y, flags[i] & F_REFINED != 0)
+        };
+        if mq.decode(&mut ctxs[mr]) {
+            mags[i] |= 1 << p;
+        }
+        flags[i] |= F_REFINED;
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dec_cleanup_pass(
+    mq: &mut MqDecoder<'_>,
+    ctxs: &mut [MqContext; NUM_CONTEXTS],
+    flags: &mut [u8],
+    mags: &mut [u32],
+    negative: &mut [bool],
+    w: usize,
+    h: usize,
+    kind: BandKind,
+    p: u32,
+) {
+    let mut sy = 0;
+    while sy < h {
+        let sh = (h - sy).min(4);
+        for x in 0..w {
+            let mut dy = 0;
+            if sh == 4 {
+                let rl_eligible = (0..4).all(|k| {
+                    let i = (sy + k) * w + x;
+                    let grid = Grid {
+                        w,
+                        h,
+                        flags,
+                        negative,
+                    };
+                    flags[i] & (F_SIG | F_VISITED) == 0
+                        && grid.zc_context(x, sy + k, kind) == CTX_ZC
+                });
+                if rl_eligible {
+                    if !mq.decode(&mut ctxs[CTX_RL]) {
+                        continue; // whole column zero
+                    }
+                    let k = ((mq.decode(&mut ctxs[CTX_UNI]) as usize) << 1)
+                        | mq.decode(&mut ctxs[CTX_UNI]) as usize;
+                    let y = sy + k;
+                    let i = y * w + x;
+                    let (sc, xor) = {
+                        let grid = Grid {
+                            w,
+                            h,
+                            flags,
+                            negative,
+                        };
+                        grid.sc_context(x, y)
+                    };
+                    let sbit = mq.decode(&mut ctxs[sc]);
+                    negative[i] = sbit ^ xor;
+                    mags[i] |= 1 << p;
+                    flags[i] |= F_SIG;
+                    dy = k + 1;
+                }
+            }
+            while dy < sh {
+                let y = sy + dy;
+                let i = y * w + x;
+                if flags[i] & (F_SIG | F_VISITED) == 0 {
+                    let zc = {
+                        let grid = Grid {
+                            w,
+                            h,
+                            flags,
+                            negative,
+                        };
+                        grid.zc_context(x, y, kind)
+                    };
+                    if mq.decode(&mut ctxs[zc]) {
+                        let (sc, xor) = {
+                            let grid = Grid {
+                                w,
+                                h,
+                                flags,
+                                negative,
+                            };
+                            grid.sc_context(x, y)
+                        };
+                        let sbit = mq.decode(&mut ctxs[sc]);
+                        negative[i] = sbit ^ xor;
+                        mags[i] |= 1 << p;
+                        flags[i] |= F_SIG;
+                    }
+                }
+                dy += 1;
+            }
+        }
+        sy += 4;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(mags: Vec<u32>, negative: Vec<bool>, w: usize, h: usize, kind: BandKind) {
+        let enc = encode_block(&mags, &negative, w, h, kind);
+        let (dm, dn) = decode_block(&enc.data, w, h, kind, enc.num_passes);
+        assert_eq!(dm, mags, "magnitudes {w}x{h} {kind:?}");
+        // Signs only matter where magnitude is non-zero.
+        for i in 0..mags.len() {
+            if mags[i] != 0 {
+                assert_eq!(dn[i], negative[i], "sign at {i}");
+            }
+        }
+    }
+
+    fn random_block(w: usize, h: usize, seed: u64, zero_prob: f64, max_mag: u32) -> (Vec<u32>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mags: Vec<u32> = (0..w * h)
+            .map(|_| {
+                if rng.gen_bool(zero_prob) {
+                    0
+                } else {
+                    rng.gen_range(1..=max_mag)
+                }
+            })
+            .collect();
+        let negative: Vec<bool> = (0..w * h).map(|_| rng.gen_bool(0.5)).collect();
+        (mags, negative)
+    }
+
+    #[test]
+    fn all_zero_block_has_no_passes() {
+        let enc = encode_block(&[0; 16], &[false; 16], 4, 4, BandKind::Ll);
+        assert_eq!(enc.num_passes, 0);
+        assert_eq!(enc.num_bitplanes, 0);
+        assert!(enc.data.is_empty());
+        let (m, _) = decode_block(&enc.data, 4, 4, BandKind::Ll, 0);
+        assert!(m.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn single_coefficient_roundtrip() {
+        let mut mags = vec![0u32; 64];
+        let mut neg = vec![false; 64];
+        mags[27] = 13;
+        neg[27] = true;
+        roundtrip(mags, neg, 8, 8, BandKind::Hl);
+    }
+
+    #[test]
+    fn passes_formula() {
+        let mut mags = vec![0u32; 16];
+        mags[0] = 0b101; // 3 bit-planes
+        let enc = encode_block(&mags, &[false; 16], 4, 4, BandKind::Ll);
+        assert_eq!(enc.num_bitplanes, 3);
+        assert_eq!(enc.num_passes, 7);
+    }
+
+    #[test]
+    fn dense_random_blocks_roundtrip_all_orientations() {
+        for kind in [BandKind::Ll, BandKind::Hl, BandKind::Lh, BandKind::Hh] {
+            let (mags, neg) = random_block(16, 16, 42, 0.3, 255);
+            roundtrip(mags, neg, 16, 16, kind);
+        }
+    }
+
+    #[test]
+    fn sparse_random_blocks_roundtrip() {
+        for seed in 0..5 {
+            let (mags, neg) = random_block(32, 32, seed, 0.95, 1000);
+            roundtrip(mags, neg, 32, 32, BandKind::Hh);
+        }
+    }
+
+    #[test]
+    fn non_multiple_of_four_heights() {
+        for h in [1usize, 2, 3, 5, 6, 7, 9] {
+            let (mags, neg) = random_block(7, h, h as u64, 0.5, 63);
+            roundtrip(mags, neg, 7, h, BandKind::Lh);
+        }
+    }
+
+    #[test]
+    fn single_row_and_column_blocks() {
+        let (mags, neg) = random_block(16, 1, 3, 0.4, 15);
+        roundtrip(mags, neg, 16, 1, BandKind::Ll);
+        let (mags, neg) = random_block(1, 16, 4, 0.4, 15);
+        roundtrip(mags, neg, 1, 16, BandKind::Hh);
+    }
+
+    #[test]
+    fn large_magnitudes() {
+        let mut mags = vec![0u32; 64];
+        mags[0] = 65_535;
+        mags[63] = 32_768;
+        let mut neg = vec![false; 64];
+        neg[63] = true;
+        roundtrip(mags, neg, 8, 8, BandKind::Ll);
+    }
+
+    #[test]
+    fn compression_is_effective_on_sparse_data() {
+        let (mags, neg) = random_block(64, 64, 5, 0.98, 127);
+        let enc = encode_block(&mags, &neg, 64, 64, BandKind::Hh);
+        // 4096 samples, ~2% significant: far below raw size.
+        assert!(
+            enc.data.len() < 1200,
+            "sparse block should compress, got {} bytes",
+            enc.data.len()
+        );
+    }
+
+    #[test]
+    fn layered_encoding_roundtrips_for_any_layer_count() {
+        let (mags, neg) = random_block(16, 16, 21, 0.5, 511);
+        let reference = encode_block(&mags, &neg, 16, 16, BandKind::Lh);
+        for layers in 1..=7 {
+            let (segments, mb) =
+                encode_block_layers(&mags, &neg, 16, 16, BandKind::Lh, layers);
+            assert_eq!(mb, reference.num_bitplanes);
+            let total: u32 = segments.iter().map(|s| s.num_passes).sum();
+            assert_eq!(total, reference.num_passes, "{layers} layers");
+            let refs: Vec<(&[u8], u32)> = segments
+                .iter()
+                .map(|s| (s.data.as_slice(), s.num_passes))
+                .collect();
+            let (dm, dn) = decode_block_segments(&refs, 16, 16, BandKind::Lh, mb);
+            assert_eq!(dm, mags, "{layers} layers");
+            for i in 0..mags.len() {
+                if mags[i] != 0 {
+                    assert_eq!(dn[i], neg[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_layers_give_progressively_better_magnitudes() {
+        let (mags, neg) = random_block(16, 16, 22, 0.4, 1023);
+        let (segments, mb) = encode_block_layers(&mags, &neg, 16, 16, BandKind::Hl, 4);
+        let mut last_err = u64::MAX;
+        for keep in 1..=4 {
+            let refs: Vec<(&[u8], u32)> = segments[..keep]
+                .iter()
+                .map(|s| (s.data.as_slice(), s.num_passes))
+                .collect();
+            let (dm, _) = decode_block_segments(&refs, 16, 16, BandKind::Hl, mb);
+            let err: u64 = dm
+                .iter()
+                .zip(&mags)
+                .map(|(&a, &b)| (a as i64 - b as i64).unsigned_abs())
+                .sum();
+            assert!(
+                err <= last_err,
+                "keeping {keep} layers must not increase error: {err} > {last_err}"
+            );
+            last_err = err;
+        }
+        assert_eq!(last_err, 0, "all layers reconstruct exactly");
+    }
+
+    #[test]
+    fn pass_sequence_shape() {
+        assert!(pass_sequence(0).is_empty());
+        let s1 = pass_sequence(1);
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s1[0].0, PassKind::Cleanup);
+        let s3 = pass_sequence(3);
+        assert_eq!(s3.len(), 7); // 3*3 - 2
+        assert_eq!(s3[0], (PassKind::Cleanup, 2, true));
+        assert_eq!(s3[1], (PassKind::Significance, 1, false));
+        assert_eq!(s3[6], (PassKind::Cleanup, 0, true));
+    }
+
+    #[test]
+    fn context_tables_cover_expected_ranges() {
+        for h in 0..=2u32 {
+            for v in 0..=2u32 {
+                for d in 0..=4u32 {
+                    assert!(zc_table_hv(h, v, d) <= 8);
+                    assert!(zc_table_diag(d, h + v) <= 8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn initial_context_states() {
+        let c = initial_contexts();
+        assert_eq!(c[CTX_UNI].state, 46);
+        assert_eq!(c[CTX_RL].state, 3);
+        assert_eq!(c[CTX_ZC].state, 4);
+        assert_eq!(c[CTX_ZC + 1].state, 0);
+        assert_eq!(c[CTX_SC].state, 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Property-based tests of the codec's core invariants.
+
+use jpeg2000::codec::{decode, encode, EncodeParams, Mode};
+use jpeg2000::ct::{dc_shift_forward, dc_shift_inverse, rct_forward, rct_inverse};
+use jpeg2000::dwt::{fdwt53_2d, fdwt97_2d, idwt53_2d, idwt97_2d};
+use jpeg2000::image::{Image, Plane};
+use jpeg2000::mq::{MqContext, MqDecoder, MqEncoder};
+use jpeg2000::quant::{dequantize, quantize};
+use jpeg2000::t1::{decode_block, encode_block};
+use jpeg2000::t2::{read_packet, write_packet, BandBlocks, BitReader, BitWriter, BlockContribution, TagTree};
+use jpeg2000::tile::BandKind;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// 5/3 integer lifting reconstructs bit-exactly for any geometry,
+    /// level count and content.
+    #[test]
+    fn dwt53_perfect_reconstruction(
+        w in 1usize..40,
+        h in 1usize..40,
+        levels in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let orig: Vec<i32> = (0..w * h).map(|_| rng.gen_range(-1000..1000)).collect();
+        let mut buf = orig.clone();
+        fdwt53_2d(&mut buf, w, h, levels);
+        idwt53_2d(&mut buf, w, h, levels);
+        prop_assert_eq!(buf, orig);
+    }
+
+    /// 9/7 real lifting reconstructs within floating-point tolerance.
+    #[test]
+    fn dwt97_reconstruction_close(
+        w in 1usize..32,
+        h in 1usize..32,
+        levels in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let orig: Vec<f64> = (0..w * h).map(|_| rng.gen_range(-200.0..200.0)).collect();
+        let mut buf = orig.clone();
+        fdwt97_2d(&mut buf, w, h, levels);
+        idwt97_2d(&mut buf, w, h, levels);
+        for (a, b) in buf.iter().zip(&orig) {
+            prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+    }
+
+    /// The MQ coder round-trips arbitrary decision sequences over
+    /// arbitrary context assignments.
+    #[test]
+    fn mq_roundtrip(
+        bits in proptest::collection::vec(any::<bool>(), 0..2000),
+        ctx_sel in proptest::collection::vec(0usize..19, 0..2000),
+    ) {
+        let n = bits.len().min(ctx_sel.len());
+        let mut enc_ctx = [MqContext::default(); 19];
+        let mut enc = MqEncoder::new();
+        for i in 0..n {
+            enc.encode(&mut enc_ctx[ctx_sel[i]], bits[i]);
+        }
+        let bytes = enc.finish();
+        let mut dec_ctx = [MqContext::default(); 19];
+        let mut dec = MqDecoder::new(&bytes);
+        for i in 0..n {
+            prop_assert_eq!(dec.decode(&mut dec_ctx[ctx_sel[i]]), bits[i], "bit {}", i);
+        }
+    }
+
+    /// RCT is bit-exact invertible for the full post-DC-shift range.
+    #[test]
+    fn rct_invertible(samples in proptest::collection::vec((-128i32..=127, -128i32..=127, -128i32..=127), 1..256)) {
+        let n = samples.len();
+        let mut r = Plane::from_data(n, 1, samples.iter().map(|s| s.0).collect());
+        let mut g = Plane::from_data(n, 1, samples.iter().map(|s| s.1).collect());
+        let mut b = Plane::from_data(n, 1, samples.iter().map(|s| s.2).collect());
+        let (r0, g0, b0) = (r.clone(), g.clone(), b.clone());
+        rct_forward(&mut r, &mut g, &mut b);
+        rct_inverse(&mut r, &mut g, &mut b);
+        prop_assert_eq!((r, g, b), (r0, g0, b0));
+    }
+
+    /// DC shift round-trips any in-range plane.
+    #[test]
+    fn dc_shift_invertible(data in proptest::collection::vec(0i32..256, 1..128), depth in 8u8..=8) {
+        let n = data.len();
+        let mut p = Plane::from_data(n, 1, data.clone());
+        dc_shift_forward(&mut p, depth);
+        dc_shift_inverse(&mut p, depth);
+        prop_assert_eq!(p.data, data);
+    }
+
+    /// Dead-zone quantiser: reconstruction error bounded by the step.
+    #[test]
+    fn quantizer_error_bound(c in -1e5f64..1e5, step in 0.01f64..16.0) {
+        let q = quantize(c, step);
+        let r = dequantize(q, step);
+        if q == 0 {
+            prop_assert!(c.abs() < step);
+        } else {
+            prop_assert!((c - r).abs() <= step / 2.0 + 1e-9);
+        }
+        // Sign preservation.
+        prop_assert!(q == 0 || (q > 0) == (c > 0.0));
+    }
+
+    /// Tier-1 round-trips arbitrary code-blocks in every orientation.
+    #[test]
+    fn t1_roundtrip(
+        w in 1usize..20,
+        h in 1usize..20,
+        seed in any::<u64>(),
+        kind_sel in 0usize..4,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let kind = [BandKind::Ll, BandKind::Hl, BandKind::Lh, BandKind::Hh][kind_sel];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mags: Vec<u32> = (0..w * h)
+            .map(|_| if rng.gen_bool(0.6) { 0 } else { rng.gen_range(1..4096) })
+            .collect();
+        let neg: Vec<bool> = (0..w * h).map(|_| rng.gen_bool(0.5)).collect();
+        let enc = encode_block(&mags, &neg, w, h, kind);
+        let (dm, dn) = decode_block(&enc.data, w, h, kind, enc.num_passes);
+        prop_assert_eq!(&dm, &mags);
+        for i in 0..mags.len() {
+            if mags[i] != 0 {
+                prop_assert_eq!(dn[i], neg[i], "sign {}", i);
+            }
+        }
+    }
+
+    /// Tag trees round-trip arbitrary value grids.
+    #[test]
+    fn tag_tree_roundtrip(
+        w in 1usize..9,
+        h in 1usize..9,
+        values in proptest::collection::vec(0u32..30, 64),
+    ) {
+        let mut enc = TagTree::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                enc.set_value(x, y, values[y * 8 + x]);
+            }
+        }
+        let mut bw = BitWriter::new();
+        for y in 0..h {
+            for x in 0..w {
+                enc.encode_value(&mut bw, x, y);
+            }
+        }
+        let bytes = bw.finish();
+        let mut dec = TagTree::new(w, h);
+        let mut br = BitReader::new(&bytes);
+        for y in 0..h {
+            for x in 0..w {
+                prop_assert_eq!(dec.decode_value(&mut br, x, y).unwrap(), values[y * 8 + x]);
+            }
+        }
+    }
+
+    /// Stuffed bit I/O is transparent for arbitrary bit strings.
+    #[test]
+    fn stuffed_bits_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..600)) {
+        let mut bw = BitWriter::new();
+        for &b in &bits {
+            bw.put_bit(b);
+        }
+        let bytes = bw.finish();
+        let mut br = BitReader::new(&bytes);
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(br.get_bit().unwrap(), b, "bit {}", i);
+        }
+    }
+
+    /// Packets round-trip arbitrary block populations.
+    #[test]
+    fn packet_roundtrip(
+        cols in 1usize..4,
+        rows in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let blocks: Vec<BlockContribution> = (0..cols * rows)
+            .map(|_| {
+                let passes = if rng.gen_bool(0.3) { 0 } else { rng.gen_range(1..40u32) };
+                let mb = passes.div_ceil(3);
+                let len = if passes == 0 { 0 } else { rng.gen_range(1..300usize) };
+                BlockContribution {
+                    encoded: jpeg2000::t1::T1EncodedBlock {
+                        data: (0..len).map(|_| rng.gen()).collect(),
+                        num_passes: passes,
+                        num_bitplanes: mb as u8,
+                    },
+                    zero_bitplanes: 18 - mb,
+                }
+            })
+            .collect();
+        let band = BandBlocks { cols, rows, blocks: blocks.clone() };
+        let bytes = write_packet(std::slice::from_ref(&band));
+        let (parsed, consumed) = read_packet(&bytes, &[(cols, rows)]).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        for (pb, orig) in parsed[0].iter().zip(&blocks) {
+            prop_assert_eq!(pb.included, orig.encoded.num_passes > 0);
+            if pb.included {
+                prop_assert_eq!(pb.num_passes, orig.encoded.num_passes);
+                prop_assert_eq!(&pb.data, &orig.encoded.data);
+                prop_assert_eq!(pb.zero_bitplanes, orig.zero_bitplanes);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full lossless pipeline: any small image, any tile split, bit-exact.
+    #[test]
+    fn full_lossless_roundtrip(
+        w in 8usize..48,
+        h in 8usize..48,
+        tile in 8usize..32,
+        grey in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let img = if grey {
+            Image::synthetic_grey(w, h, seed)
+        } else {
+            Image::synthetic_rgb(w, h, seed)
+        };
+        let params = EncodeParams::new(Mode::Lossless).tile_size(tile, tile);
+        let bytes = encode(&img, &params).unwrap();
+        let out = decode(&bytes).unwrap();
+        prop_assert_eq!(out.image, img);
+    }
+
+    /// Multi-layer lossless pipeline stays bit-exact for any layer count.
+    #[test]
+    fn layered_lossless_roundtrip(
+        w in 8usize..40,
+        h in 8usize..40,
+        layers in 1u8..6,
+        seed in any::<u64>(),
+    ) {
+        let img = Image::synthetic_rgb(w, h, seed);
+        let params = EncodeParams::new(Mode::Lossless).layers(layers);
+        let bytes = encode(&img, &params).unwrap();
+        let out = decode(&bytes).unwrap();
+        prop_assert_eq!(out.image, img);
+    }
+
+    /// Lossy pipeline: decodes without error and with sane quality.
+    #[test]
+    fn full_lossy_roundtrip(
+        w in 16usize..48,
+        h in 16usize..48,
+        step in 0.1f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let img = Image::synthetic_rgb(w, h, seed);
+        let params = EncodeParams::new(Mode::Lossy { base_step: step });
+        let bytes = encode(&img, &params).unwrap();
+        let out = decode(&bytes).unwrap();
+        prop_assert!(img.psnr(&out.image) > 20.0);
+    }
+}

@@ -1,0 +1,574 @@
+//! Application-Layer model versions 1–5.
+//!
+//! All versions move **real tile data** through the simulated structure:
+//! the entropy decoder, IQ, IDWT, ICT and DC-shift stages call the
+//! [`jpeg2000`] staged decoder inside their EET blocks, and the decoded
+//! image is compared against the reference decoder at the end of every
+//! run.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use jpeg2000::codec::{StagedDecoder, TileCoeffs, TileSamples, TileWavelet};
+use jpeg2000::image::Image;
+use osss_core::sched::{Arbiter, Fcfs, RoundRobin, StaticPriority};
+use osss_core::{SharedObject, SwTask};
+use osss_sim::{SimError, SimReport, SimTime, Simulation};
+
+use crate::timing::{
+    hw_idwt_time, hw_iq_time, so_arb_delay, so_copy_time, sw_stage_times, NUM_TILES,
+};
+use crate::workload::{workload, Workload};
+use crate::{ModeSel, VersionId, VersionResult};
+
+/// Shared measurement sink.
+#[derive(Clone, Default)]
+pub(crate) struct Metrics {
+    inner: Arc<Mutex<SimTime>>,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn add_idwt(&self, d: SimTime) {
+        *self.inner.lock() += d;
+    }
+
+    pub(crate) fn idwt(&self) -> SimTime {
+        *self.inner.lock()
+    }
+}
+
+/// Collects decoded tiles for final assembly.
+#[derive(Clone)]
+pub(crate) struct Outputs {
+    tiles: Arc<Mutex<Vec<Option<TileSamples>>>>,
+}
+
+impl Outputs {
+    pub(crate) fn new(n: usize) -> Self {
+        Outputs {
+            tiles: Arc::new(Mutex::new(vec![None; n])),
+        }
+    }
+
+    pub(crate) fn place(&self, index: usize, samples: TileSamples) {
+        self.tiles.lock()[index] = Some(samples);
+    }
+
+    fn assemble(&self, dec: &StagedDecoder) -> Option<Image> {
+        let tiles = self.tiles.lock();
+        let mut img = dec.blank_image();
+        for t in tiles.iter() {
+            dec.place_tile(&mut img, t.as_ref()?);
+        }
+        Some(img)
+    }
+}
+
+/// Builds the final [`VersionResult`] from a finished simulation.
+pub(crate) fn finish(
+    version: VersionId,
+    mode: ModeSel,
+    w: &Workload,
+    report: &SimReport,
+    metrics: &Metrics,
+    outputs: &Outputs,
+    so_arbitration_wait: SimTime,
+) -> Result<VersionResult, SimError> {
+    let assembled = outputs
+        .assemble(&w.decoder)
+        .ok_or_else(|| SimError::model(format!("{version}: missing decoded tiles")))?;
+    Ok(VersionResult {
+        version,
+        mode,
+        decode_time: report.end_time,
+        idwt_time: metrics.idwt(),
+        functional_ok: assembled == *w.reference,
+        so_arbitration_wait,
+    })
+}
+
+/// The HW/SW shared object's storage: pending entropy-decoded tiles,
+/// dequantised tiles awaiting a filter block, and finished tiles.
+pub(crate) struct HwSwState {
+    pub(crate) pending: VecDeque<(usize, TileCoeffs)>,
+    pub(crate) wavelets: HashMap<usize, TileWavelet>,
+    pub(crate) results: HashMap<usize, TileSamples>,
+    pub(crate) capacity: usize,
+}
+
+impl HwSwState {
+    pub(crate) fn new(capacity: usize) -> Self {
+        HwSwState {
+            pending: VecDeque::new(),
+            wavelets: HashMap::new(),
+            results: HashMap::new(),
+            capacity,
+        }
+    }
+}
+
+/// The IDWT-params shared object: parameter exchange and arbitration
+/// between IDWT2D (control) and the two filter blocks.
+#[derive(Default)]
+pub(crate) struct ParamsState {
+    pub(crate) request: Option<usize>,
+    pub(crate) response: Option<usize>,
+}
+
+/// Version 1 — software only: one task runs all five stages per tile.
+pub fn run_v1(mode: ModeSel) -> Result<VersionResult, SimError> {
+    let w = workload(mode);
+    let t = sw_stage_times(mode);
+    let mut sim = Simulation::new();
+    let metrics = Metrics::new();
+    let outputs = Outputs::new(NUM_TILES);
+    let dec = Arc::clone(&w.decoder);
+    let (m2, o2) = (metrics.clone(), outputs.clone());
+    SwTask::spawn(&mut sim, "decoder_sw", move |env, ctx| {
+        for i in 0..NUM_TILES {
+            let coeffs = env.eet(ctx, t.arith, || {
+                dec.entropy_decode_tile(i).expect("entropy decode")
+            })?;
+            let wavelet = env.eet(ctx, t.iq, || dec.dequantize_tile(&coeffs))?;
+            let t0 = ctx.now();
+            let samples = env.eet(ctx, t.idwt, || dec.idwt_tile(wavelet))?;
+            m2.add_idwt(ctx.now() - t0);
+            let samples = env.eet(ctx, t.ict, || dec.inverse_mct_tile(samples))?;
+            let samples = env.eet(ctx, t.dc, || dec.dc_unshift_tile(samples))?;
+            o2.place(i, samples);
+        }
+        Ok(())
+    });
+    let report = sim.run()?;
+    finish(VersionId::V1, mode, &w, &report, &metrics, &outputs, SimTime::ZERO)
+}
+
+/// Version 2 — HW/SW not parallel: the software task performs the
+/// arithmetic decoding, then a **blocking** method call on the shared
+/// object computes IQ + IDWT in hardware, then ICT + DC shift in software.
+pub fn run_v2(mode: ModeSel) -> Result<VersionResult, SimError> {
+    let w = workload(mode);
+    let t = sw_stage_times(mode);
+    let (hw_iq, hw_idwt) = (hw_iq_time(mode), hw_idwt_time(mode));
+    let mut sim = Simulation::new();
+    let metrics = Metrics::new();
+    let outputs = Outputs::new(NUM_TILES);
+    let so = SharedObject::new(&mut sim, "hwsw_so", (), Fcfs::new());
+    let dec = Arc::clone(&w.decoder);
+    let (m2, o2) = (metrics.clone(), outputs.clone());
+    let so2 = so.clone();
+    SwTask::spawn(&mut sim, "decoder_sw", move |env, ctx| {
+        for i in 0..NUM_TILES {
+            let coeffs = env.eet(ctx, t.arith, || {
+                dec.entropy_decode_tile(i).expect("entropy decode")
+            })?;
+            // Blocking co-processor call: IQ then IDWT inside the object.
+            let dec2 = Arc::clone(&dec);
+            let m3 = m2.clone();
+            let samples = so2.call(ctx, move |_, ctx| {
+                // Arbiter grant plus by-value argument/result copies
+                // (OSSS method calls serialise their arguments).
+                ctx.wait(so_arb_delay(1) + so_copy_time())?;
+                let wavelet = dec2.dequantize_tile(&coeffs);
+                ctx.wait(hw_iq)?;
+                let t0 = ctx.now();
+                let samples = dec2.idwt_tile(wavelet);
+                ctx.wait(hw_idwt)?;
+                m3.add_idwt(ctx.now() - t0);
+                ctx.wait(so_copy_time())?;
+                Ok(samples)
+            })?;
+            let samples = env.eet(ctx, t.ict, || dec.inverse_mct_tile(samples))?;
+            let samples = env.eet(ctx, t.dc, || dec.dc_unshift_tile(samples))?;
+            o2.place(i, samples);
+        }
+        Ok(())
+    });
+    let report = sim.run()?;
+    let wait = so.stats().total_arbitration_wait;
+    finish(VersionId::V2, mode, &w, &report, &metrics, &outputs, wait)
+}
+
+/// Version 4 — SW parallel (cp. 2): four software tasks decode disjoint
+/// tile sets, sharing one IQ+IDWT co-processor object.
+pub fn run_v4(mode: ModeSel) -> Result<VersionResult, SimError> {
+    let w = workload(mode);
+    let t = sw_stage_times(mode);
+    let (hw_iq, hw_idwt) = (hw_iq_time(mode), hw_idwt_time(mode));
+    let mut sim = Simulation::new();
+    let metrics = Metrics::new();
+    let outputs = Outputs::new(NUM_TILES);
+    let so = SharedObject::new(&mut sim, "hwsw_so", (), Fcfs::new());
+    for k in 0..4usize {
+        let dec = Arc::clone(&w.decoder);
+        let (m2, o2) = (metrics.clone(), outputs.clone());
+        let so2 = so.clone();
+        SwTask::spawn(&mut sim, &format!("sw_task{k}"), move |env, ctx| {
+            for i in (k..NUM_TILES).step_by(4) {
+                let coeffs = env.eet(ctx, t.arith, || {
+                    dec.entropy_decode_tile(i).expect("entropy decode")
+                })?;
+                let dec2 = Arc::clone(&dec);
+                let m3 = m2.clone();
+                let samples = so2.call(ctx, move |_, ctx| {
+                    // Plain co-processor call (cp. version 2): arbiter
+                    // grant, argument copy, compute, result copy.
+                    ctx.wait(so_arb_delay(4) + so_copy_time())?;
+                    let wavelet = dec2.dequantize_tile(&coeffs);
+                    ctx.wait(hw_iq)?;
+                    let t0 = ctx.now();
+                    let samples = dec2.idwt_tile(wavelet);
+                    ctx.wait(hw_idwt)?;
+                    m3.add_idwt(ctx.now() - t0);
+                    ctx.wait(so_copy_time())?;
+                    Ok(samples)
+                })?;
+                let samples = env.eet(ctx, t.ict, || dec.inverse_mct_tile(samples))?;
+                let samples = env.eet(ctx, t.dc, || dec.dc_unshift_tile(samples))?;
+                o2.place(i, samples);
+            }
+            Ok(())
+        });
+    }
+    let report = sim.run()?;
+    let wait = so.stats().total_arbitration_wait;
+    finish(VersionId::V4, mode, &w, &report, &metrics, &outputs, wait)
+}
+
+/// Shared structure of versions 3 and 5 (and, with channel/memory
+/// refinements, 6a–7b): `n_sw_tasks` software tasks feed the HW/SW
+/// shared object; the IDWT2D control block and the IDWT53/IDWT97 filter
+/// blocks process tiles through the IDWT-params object.
+pub(crate) struct PipelineModel {
+    pub(crate) n_sw_tasks: usize,
+    pub(crate) version: VersionId,
+    pub(crate) policy: ArbPolicy,
+}
+
+/// Which arbitration policy the HW/SW shared object uses — an ablation
+/// axis over the OSSS scheduler library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbPolicy {
+    /// First-come-first-served (the case study's choice).
+    Fcfs,
+    /// Round-robin over client identities.
+    RoundRobin,
+    /// Static priority (software tasks get ascending priorities).
+    StaticPriority,
+}
+
+impl ArbPolicy {
+    /// All policies, FCFS first.
+    pub const ALL: [ArbPolicy; 3] =
+        [ArbPolicy::Fcfs, ArbPolicy::RoundRobin, ArbPolicy::StaticPriority];
+
+    fn arbiter(self) -> Box<dyn Arbiter> {
+        match self {
+            ArbPolicy::Fcfs => Box::new(Fcfs::new()),
+            ArbPolicy::RoundRobin => Box::new(RoundRobin::new()),
+            ArbPolicy::StaticPriority => Box::new(StaticPriority::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for ArbPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArbPolicy::Fcfs => write!(f, "fcfs"),
+            ArbPolicy::RoundRobin => write!(f, "round-robin"),
+            ArbPolicy::StaticPriority => write!(f, "static-priority"),
+        }
+    }
+}
+
+pub(crate) fn run_pipeline_app(mode: ModeSel, cfg: PipelineModel) -> Result<VersionResult, SimError> {
+    let w = workload(mode);
+    let t = sw_stage_times(mode);
+    let (hw_iq, hw_idwt) = (hw_iq_time(mode), hw_idwt_time(mode));
+    let copy = so_copy_time();
+    // HW/SW object clients: the software tasks plus IDWT2D and the two
+    // filter blocks; the params object serves the three IDWT components.
+    let hwsw_arb = so_arb_delay(cfg.n_sw_tasks + 3);
+    let params_arb = so_arb_delay(3);
+    let mut sim = Simulation::new();
+    let metrics = Metrics::new();
+    let outputs = Outputs::new(NUM_TILES);
+    let hwsw = SharedObject::new(&mut sim, "hwsw_so", HwSwState::new(2), cfg.policy.arbiter());
+    let params = SharedObject::new(&mut sim, "idwt_params_so", ParamsState::default(), Fcfs::new());
+
+    // Software tasks: arithmetic decoding + tile hand-off, then pick-up,
+    // ICT and DC shift for their own tiles.
+    for k in 0..cfg.n_sw_tasks {
+        let dec = Arc::clone(&w.decoder);
+        let o2 = outputs.clone();
+        let hwsw = hwsw.clone();
+        let n = cfg.n_sw_tasks;
+        SwTask::spawn(&mut sim, &format!("sw_task{k}"), move |env, ctx| {
+            for i in (k..NUM_TILES).step_by(n) {
+                let coeffs = env.eet(ctx, t.arith, || {
+                    dec.entropy_decode_tile(i).expect("entropy decode")
+                })?;
+                // Bounded hand-off buffer inside the shared object.
+                hwsw.call_guarded(
+                    ctx,
+                    |s| s.pending.len() < s.capacity,
+                    |s, ctx| {
+                        ctx.wait(hwsw_arb + copy)?;
+                        s.pending.push_back((i, coeffs));
+                        Ok(())
+                    },
+                )?;
+            }
+            for i in (k..NUM_TILES).step_by(n) {
+                let samples = hwsw.call_guarded(
+                    ctx,
+                    move |s| s.results.contains_key(&i),
+                    move |s, ctx| {
+                        ctx.wait(hwsw_arb + copy)?;
+                        Ok(s.results.remove(&i).expect("guard held"))
+                    },
+                )?;
+                let samples = env.eet(ctx, t.ict, || dec.inverse_mct_tile(samples))?;
+                let samples = env.eet(ctx, t.dc, || dec.dc_unshift_tile(samples))?;
+                o2.place(i, samples);
+            }
+            Ok(())
+        });
+    }
+
+    // IDWT2D control block: drains the pending queue, performs IQ inside
+    // the shared object, then drives a filter block through the params
+    // object. One process — tiles serialise through it, but overlap with
+    // the software pipeline.
+    {
+        let dec = Arc::clone(&w.decoder);
+        let hwsw = hwsw.clone();
+        let params = params.clone();
+        sim.spawn_process("idwt2d_ctrl", move |ctx| {
+            loop {
+                let i = hwsw.call_guarded(
+                    ctx,
+                    |s| !s.pending.is_empty(),
+                    |s, ctx| {
+                        ctx.wait(hwsw_arb + copy)?;
+                        let (i, coeffs) = s.pending.pop_front().expect("guard held");
+                        let wavelet = dec.dequantize_tile(&coeffs);
+                        ctx.wait(hw_iq)?;
+                        s.wavelets.insert(i, wavelet);
+                        Ok(i)
+                    },
+                )?;
+                params.call(ctx, |p, ctx| {
+                    ctx.wait(params_arb)?;
+                    p.request = Some(i);
+                    Ok(())
+                })?;
+                params.call_guarded(
+                    ctx,
+                    move |p| p.response == Some(i),
+                    |p, ctx| {
+                        ctx.wait(params_arb)?;
+                        p.response = None;
+                        Ok(())
+                    },
+                )?;
+            }
+        });
+    }
+
+    // Filter blocks: IDWT53 serves the lossless path, IDWT97 the lossy
+    // path; both contend for the params object (its arbiter is the
+    // "arbitration unit between the three concurrent IDWT components").
+    for (name, serves) in [("idwt53", ModeSel::Lossless), ("idwt97", ModeSel::Lossy)] {
+        let dec = Arc::clone(&w.decoder);
+        let hwsw = hwsw.clone();
+        let params = params.clone();
+        let m2 = metrics.clone();
+        let active = serves == mode;
+        sim.spawn_process(name, move |ctx| {
+            loop {
+                if !active {
+                    // The other filter block stays idle in this mode.
+                    return Ok(());
+                }
+                let i = params.call_guarded(
+                    ctx,
+                    |p| p.request.is_some(),
+                    |p, ctx| {
+                        ctx.wait(params_arb)?;
+                        Ok(p.request.take().expect("guard held"))
+                    },
+                )?;
+                // Fetch the dequantised tile from the shared object,
+                // transform, store the spatial samples back.
+                let wavelet = hwsw.call_guarded(
+                    ctx,
+                    move |s| s.wavelets.contains_key(&i),
+                    move |s, ctx| {
+                        ctx.wait(hwsw_arb + copy)?;
+                        Ok(s.wavelets.remove(&i).expect("guard held"))
+                    },
+                )?;
+                let samples = {
+                    let out = dec.idwt_tile(wavelet);
+                    ctx.wait(hw_idwt)?;
+                    // On the Application Layer the IDWT time is the pure
+                    // hardware compute — communication is still abstract.
+                    m2.add_idwt(hw_idwt);
+                    out
+                };
+                hwsw.call(ctx, move |s, ctx| {
+                    ctx.wait(hwsw_arb + copy)?;
+                    s.results.insert(i, samples);
+                    Ok(())
+                })?;
+                params.call(ctx, |p, ctx| {
+                    ctx.wait(params_arb)?;
+                    p.response = Some(i);
+                    Ok(())
+                })?;
+            }
+        });
+    }
+
+    let report = sim.run()?;
+    let wait = hwsw.stats().total_arbitration_wait + params.stats().total_arbitration_wait;
+    finish(cfg.version, mode, &w, &report, &metrics, &outputs, wait)
+}
+
+/// Version 3 — HW/SW parallel: one software task plus the three-block
+/// hardware pipeline.
+pub fn run_v3(mode: ModeSel) -> Result<VersionResult, SimError> {
+    run_pipeline_app(
+        mode,
+        PipelineModel {
+            n_sw_tasks: 1,
+            version: VersionId::V3,
+            policy: ArbPolicy::Fcfs,
+        },
+    )
+}
+
+/// Version 5 — SW & HW/SW parallel: four software tasks plus the
+/// hardware pipeline; the HW/SW shared object serves seven clients.
+pub fn run_v5(mode: ModeSel) -> Result<VersionResult, SimError> {
+    run_v5_with_policy(mode, ArbPolicy::Fcfs)
+}
+
+/// Version 5 with an explicit arbitration policy on the HW/SW shared
+/// object (the policy ablation of the OSSS scheduler library).
+pub fn run_v5_with_policy(mode: ModeSel, policy: ArbPolicy) -> Result<VersionResult, SimError> {
+    run_pipeline_app(
+        mode,
+        PipelineModel {
+            n_sw_tasks: 4,
+            version: VersionId::V5,
+            policy,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(t: SimTime) -> f64 {
+        t.as_ms_f64()
+    }
+
+    #[test]
+    fn v1_matches_the_analytic_total() {
+        let r = run_v1(ModeSel::Lossless).expect("v1");
+        assert!(r.functional_ok, "decoded image must match reference");
+        let expected = sw_stage_times(ModeSel::Lossless).total() * NUM_TILES as u64;
+        assert_eq!(r.decode_time, expected);
+        // IDWT time = 16 × SW IDWT.
+        let idwt = sw_stage_times(ModeSel::Lossless).idwt * NUM_TILES as u64;
+        assert_eq!(r.idwt_time, idwt);
+    }
+
+    #[test]
+    fn v2_speedup_is_about_10_19_percent() {
+        for (mode, lo, hi) in [(ModeSel::Lossless, 1.05, 1.15), (ModeSel::Lossy, 1.12, 1.25)] {
+            let v1 = run_v1(mode).expect("v1");
+            let v2 = run_v2(mode).expect("v2");
+            assert!(v2.functional_ok);
+            let speedup = ms(v1.decode_time) / ms(v2.decode_time);
+            assert!(
+                (lo..=hi).contains(&speedup),
+                "{mode}: v2 speedup {speedup:.3} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn v3_improves_slightly_over_v2() {
+        let mode = ModeSel::Lossless;
+        let v2 = run_v2(mode).expect("v2");
+        let v3 = run_v3(mode).expect("v3");
+        assert!(v3.functional_ok);
+        assert!(
+            v3.decode_time < v2.decode_time,
+            "pipeline should help: v2 {} vs v3 {}",
+            v2.decode_time,
+            v3.decode_time
+        );
+        // ... but only slightly (the arithmetic decoder dominates).
+        let gain = ms(v2.decode_time) / ms(v3.decode_time);
+        assert!(gain < 1.10, "gain {gain:.3} should be small");
+    }
+
+    #[test]
+    fn v4_speedup_is_about_4_5x() {
+        for (mode, lo, hi) in [(ModeSel::Lossless, 3.9, 4.8), (ModeSel::Lossy, 4.2, 5.3)] {
+            let v1 = run_v1(mode).expect("v1");
+            let v4 = run_v4(mode).expect("v4");
+            assert!(v4.functional_ok);
+            let speedup = ms(v1.decode_time) / ms(v4.decode_time);
+            assert!(
+                (lo..=hi).contains(&speedup),
+                "{mode}: v4 speedup {speedup:.2} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn v5_is_slightly_slower_than_v4() {
+        for mode in ModeSel::ALL {
+            let v4 = run_v4(mode).expect("v4");
+            let v5 = run_v5(mode).expect("v5");
+            assert!(v5.functional_ok);
+            assert!(
+                v5.decode_time > v4.decode_time,
+                "{mode}: v5 {} should exceed v4 {}",
+                v5.decode_time,
+                v4.decode_time
+            );
+            let ratio = ms(v5.decode_time) / ms(v4.decode_time);
+            assert!(ratio < 1.25, "{mode}: v5/v4 {ratio:.3} should stay small");
+            // The seven-client object shows real arbitration pressure.
+            assert!(v5.so_arbitration_wait > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn all_app_versions_are_functionally_correct_lossy() {
+        for (v, f) in [
+            (VersionId::V1, run_v1 as fn(ModeSel) -> Result<VersionResult, SimError>),
+            (VersionId::V2, run_v2),
+            (VersionId::V3, run_v3),
+            (VersionId::V4, run_v4),
+            (VersionId::V5, run_v5),
+        ] {
+            let r = f(ModeSel::Lossy).expect("run");
+            assert!(r.functional_ok, "{v} lossy output mismatch");
+            assert_eq!(r.version, v);
+        }
+    }
+}

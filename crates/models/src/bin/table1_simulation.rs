@@ -1,0 +1,33 @@
+//! Regenerates the paper's Table 1: simulation results of all nine model
+//! versions, plus the paper-shape verification and (with `--flow`) the
+//! Figure 3 model lineage.
+
+use jpeg2000_models::report::{check_table1_shape, flow_text, format_table1};
+use jpeg2000_models::table1;
+
+fn main() {
+    if std::env::args().any(|a| a == "--flow") {
+        println!("{}", flow_text());
+        println!();
+    }
+    println!("Running all 9 model versions × 2 modes (simulated time)...");
+    let results = table1().expect("simulations complete");
+    println!();
+    println!("{}", format_table1(&results));
+    println!("Paper-shape verification:");
+    let checks = check_table1_shape(&results);
+    let mut all_ok = true;
+    for c in &checks {
+        println!(
+            "  [{}] {:<28} paper: {:<48} measured: {}",
+            if c.pass { "ok" } else { "FAIL" },
+            c.name,
+            c.paper,
+            c.measured
+        );
+        all_ok &= c.pass;
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates the paper's Table 2: RTL synthesis results of the IDWT
+//! blocks, FOSSY flow versus hand-written VHDL reference.
+
+use jpeg2000_models::report::format_table2;
+use jpeg2000_models::synth::table2;
+
+fn main() {
+    let rows = table2();
+    println!("{}", format_table2(&rows));
+    println!("Paper-shape summary:");
+    let r53 = &rows[0];
+    let r97 = &rows[1];
+    println!(
+        "  IDWT53: FOSSY/reference area ratio {:.2} (paper: ≈ +10 % area), \
+         fmax ratio {:.2} (paper: similar)",
+        r53.fossy.slices as f64 / r53.reference.slices as f64,
+        r53.fossy.fmax_mhz / r53.reference.fmax_mhz
+    );
+    println!(
+        "  IDWT97: FOSSY/reference area ratio {:.2} (paper: ≈ −15 %), \
+         fmax ratio {:.2} (paper: ≈ −28 %)",
+        r97.fossy.slices as f64 / r97.reference.slices as f64,
+        r97.fossy.fmax_mhz / r97.reference.fmax_mhz
+    );
+    println!(
+        "  Generated-vs-input code growth: IDWT53 ×{:.1}, IDWT97 ×{:.1}",
+        r53.generated_loc as f64 / r53.input_loc as f64,
+        r97.generated_loc as f64 / r97.input_loc as f64
+    );
+    println!(
+        "  Both meet the 100 MHz platform clock for the 5/3: FOSSY {:.1} MHz, ref {:.1} MHz",
+        r53.fossy.fmax_mhz, r53.reference.fmax_mhz
+    );
+}

@@ -1,0 +1,226 @@
+//! # jpeg2000-models — the DATE 2008 case-study design space
+//!
+//! The nine JPEG 2000 decoder models of the paper's Table 1, built on the
+//! OSSS layers and carrying **real tile data** from the [`jpeg2000`]
+//! codec through every simulated component (so functional correctness is
+//! checked inside the timed experiments):
+//!
+//! | Version | Layer | Structure |
+//! |---|---|---|
+//! | 1 | Application | software only |
+//! | 2 | Application | HW/SW, sequential co-processor calls |
+//! | 3 | Application | HW/SW pipelined, 3 IDWT hardware blocks |
+//! | 4 | Application | 4 parallel software tasks (cp. 2) |
+//! | 5 | Application | 4 SW tasks + HW pipeline (cp. 3) |
+//! | 6a/6b | VTA | mapping of 3 — shared bus only / bus + P2P |
+//! | 7a/7b | VTA | mapping of 5 — shared bus only / bus + P2P |
+//!
+//! Timing is calibrated from the paper's published profile (Figure 1
+//! percentages, 180 ms arithmetic decoding per tile) in [`timing`];
+//! the VTA versions add channel transfer and explicit-memory costs
+//! through the `osss-vta` resource models.
+//!
+//! [`run_version`] executes one model; [`table1`] regenerates the whole
+//! table; [`report`] formats it and checks the paper-shape relations.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use jpeg2000_models::{run_version, ModeSel, VersionId};
+//!
+//! let r = run_version(VersionId::V1, ModeSel::Lossless).unwrap();
+//! assert!(r.functional_ok);
+//! println!("v1 decodes 16 tiles in {}", r.decode_time);
+//! ```
+
+mod app;
+pub use app::{run_v5_with_policy, ArbPolicy};
+pub mod profile;
+pub mod report;
+pub mod synth;
+pub mod timing;
+mod vta;
+pub mod workload;
+
+use osss_sim::{SimError, SimTime};
+
+/// Lossless (5/3) or lossy (9/7) operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModeSel {
+    /// Reversible path.
+    Lossless,
+    /// Irreversible path.
+    Lossy,
+}
+
+impl ModeSel {
+    /// Both modes, lossless first (Table 1 column order).
+    pub const ALL: [ModeSel; 2] = [ModeSel::Lossless, ModeSel::Lossy];
+}
+
+impl std::fmt::Display for ModeSel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModeSel::Lossless => write!(f, "lossless"),
+            ModeSel::Lossy => write!(f, "lossy"),
+        }
+    }
+}
+
+/// The nine model versions of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VersionId {
+    /// Software only.
+    V1,
+    /// HW/SW not parallel.
+    V2,
+    /// HW/SW parallel (3 IDWT modules).
+    V3,
+    /// SW parallel (cp. 2).
+    V4,
+    /// SW & HW/SW parallel (cp. 3).
+    V5,
+    /// VTA mapping of 3, HW/SW SO connected to bus only.
+    V6a,
+    /// VTA mapping of 3, bus + point-to-point.
+    V6b,
+    /// VTA mapping of 5, bus only.
+    V7a,
+    /// VTA mapping of 5, bus + point-to-point.
+    V7b,
+}
+
+impl VersionId {
+    /// All versions in table order.
+    pub const ALL: [VersionId; 9] = [
+        VersionId::V1,
+        VersionId::V2,
+        VersionId::V3,
+        VersionId::V4,
+        VersionId::V5,
+        VersionId::V6a,
+        VersionId::V6b,
+        VersionId::V7a,
+        VersionId::V7b,
+    ];
+
+    /// The Table 1 row description.
+    pub fn description(self) -> &'static str {
+        match self {
+            VersionId::V1 => "SW only",
+            VersionId::V2 => "HW/SW not parallel",
+            VersionId::V3 => "HW/SW parallel (3 IDWT modules)",
+            VersionId::V4 => "SW parallel (cp. 2)",
+            VersionId::V5 => "SW & HW/SW parallel (cp. 3)",
+            VersionId::V6a => "VTA of 3: HW/SW SO on bus only",
+            VersionId::V6b => "VTA of 3: bus & P2P",
+            VersionId::V7a => "VTA of 5: HW/SW SO on bus only",
+            VersionId::V7b => "VTA of 5: bus & P2P",
+        }
+    }
+
+    /// Whether this is a Virtual-Target-Architecture-layer model.
+    pub fn is_vta(self) -> bool {
+        matches!(
+            self,
+            VersionId::V6a | VersionId::V6b | VersionId::V7a | VersionId::V7b
+        )
+    }
+}
+
+impl std::fmt::Display for VersionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VersionId::V1 => "1",
+            VersionId::V2 => "2",
+            VersionId::V3 => "3",
+            VersionId::V4 => "4",
+            VersionId::V5 => "5",
+            VersionId::V6a => "6a",
+            VersionId::V6b => "6b",
+            VersionId::V7a => "7a",
+            VersionId::V7b => "7b",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The outcome of simulating one model version in one mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionResult {
+    /// Which model ran.
+    pub version: VersionId,
+    /// Which mode.
+    pub mode: ModeSel,
+    /// Time to decode all 16 tiles (3 components), the paper's
+    /// "Decoding Time" column.
+    pub decode_time: SimTime,
+    /// Accumulated time spent in the IDWT subsystem, the paper's
+    /// "IDWT Time" column.
+    pub idwt_time: SimTime,
+    /// Whether the decoded image matched the reference decoder exactly.
+    pub functional_ok: bool,
+    /// Total arbitration wait observed at the HW/SW shared object
+    /// (zero where no such object exists).
+    pub so_arbitration_wait: SimTime,
+}
+
+/// Runs one model version and returns its measurements.
+///
+/// # Errors
+///
+/// Propagates simulation failures (process panics, model errors).
+pub fn run_version(version: VersionId, mode: ModeSel) -> Result<VersionResult, SimError> {
+    match version {
+        VersionId::V1 => app::run_v1(mode),
+        VersionId::V2 => app::run_v2(mode),
+        VersionId::V3 => app::run_v3(mode),
+        VersionId::V4 => app::run_v4(mode),
+        VersionId::V5 => app::run_v5(mode),
+        VersionId::V6a => vta::run_vta(mode, vta::VtaConfig::v6a()),
+        VersionId::V6b => vta::run_vta(mode, vta::VtaConfig::v6b()),
+        VersionId::V7a => vta::run_vta(mode, vta::VtaConfig::v7a()),
+        VersionId::V7b => vta::run_vta(mode, vta::VtaConfig::v7b()),
+    }
+}
+
+/// Runs a VTA scaling exploration point: `n_sw_tasks` software tasks on
+/// as many processors, with the IDWT data links on the shared bus
+/// (`p2p = false`, the 7a mapping) or on point-to-point channels
+/// (`p2p = true`, the 7b mapping). Used by the scaling ablation that
+/// backs the paper's closing claim that "7b does better scale with
+/// increasing parallelism".
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+///
+/// # Panics
+///
+/// Panics if `n_sw_tasks` is zero or exceeds the tile count.
+pub fn run_scaling(
+    mode: ModeSel,
+    n_sw_tasks: usize,
+    p2p: bool,
+) -> Result<VersionResult, SimError> {
+    assert!(
+        (1..=timing::NUM_TILES).contains(&n_sw_tasks),
+        "1..=16 software tasks"
+    );
+    vta::run_vta(mode, vta::VtaConfig::scaling(n_sw_tasks, p2p))
+}
+
+/// Regenerates the full Table 1 (all versions × both modes).
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn table1() -> Result<Vec<VersionResult>, SimError> {
+    let mut out = Vec::with_capacity(18);
+    for version in VersionId::ALL {
+        for mode in ModeSel::ALL {
+            out.push(run_version(version, mode)?);
+        }
+    }
+    Ok(out)
+}

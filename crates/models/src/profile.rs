@@ -1,0 +1,81 @@
+//! The Figure 1 experiment: per-stage execution-time profile of the
+//! software-only decoder.
+//!
+//! The paper profiled a C implementation on the target processor; here
+//! the Rust decoder is profiled natively (wall clock per stage) and the
+//! resulting shares are compared against the published percentages.
+
+use jpeg2000::codec::{decode, encode, EncodeParams, Mode};
+use jpeg2000::image::Image;
+
+use crate::timing::figure1_shares;
+use crate::ModeSel;
+
+/// Measured and published per-stage shares, in percent, ordered
+/// `[arith decoder, IQ, IDWT, ICT, DC shift]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileResult {
+    /// Which mode was profiled.
+    pub mode: ModeSel,
+    /// Shares measured on this machine's decoder.
+    pub measured: [f64; 5],
+    /// The shares Figure 1 reports.
+    pub paper: [f64; 5],
+}
+
+impl ProfileResult {
+    /// Whether the measured profile is entropy-decoder dominated, the
+    /// property the whole case study builds on.
+    pub fn entropy_dominates(&self) -> bool {
+        self.measured[0] > 50.0
+    }
+}
+
+/// Profiles a decode of a synthetic image and reports the stage shares.
+///
+/// `size` is the square image edge; larger images give more stable
+/// shares (256 is a good default).
+///
+/// # Panics
+///
+/// Panics if encoding or decoding the synthetic workload fails — that
+/// would be a codec bug, not a usage error.
+pub fn profile(mode: ModeSel, size: usize) -> ProfileResult {
+    let image = Image::synthetic_rgb(size, size, 1);
+    let params = match mode {
+        ModeSel::Lossless => EncodeParams::new(Mode::Lossless),
+        ModeSel::Lossy => EncodeParams::new(Mode::lossy_default()),
+    }
+    .tile_size(size / 4, size / 4);
+    let bytes = encode(&image, &params).expect("encode profile workload");
+    let out = decode(&bytes).expect("decode profile workload");
+    ProfileResult {
+        mode,
+        measured: out.timings.shares(),
+        paper: figure1_shares(mode),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_shares_sum_to_100() {
+        let p = profile(ModeSel::Lossless, 64);
+        let sum: f64 = p.measured.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_decoder_dominates_both_modes() {
+        for mode in ModeSel::ALL {
+            let p = profile(mode, 64);
+            assert!(
+                p.entropy_dominates(),
+                "{mode}: measured {:?}",
+                p.measured
+            );
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Table formatting and paper-shape verification.
+
+use std::fmt::Write as _;
+
+use osss_sim::SimTime;
+
+use crate::synth::SynthesisRow;
+use crate::{ModeSel, VersionId, VersionResult};
+
+/// One verified relation between the paper's claims and the measured
+/// reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeCheck {
+    /// Short name of the relation.
+    pub name: &'static str,
+    /// What the paper states.
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the relation holds.
+    pub pass: bool,
+}
+
+fn get(results: &[VersionResult], v: VersionId, m: ModeSel) -> Option<&VersionResult> {
+    results.iter().find(|r| r.version == v && r.mode == m)
+}
+
+fn ratio(a: SimTime, b: SimTime) -> f64 {
+    a.as_ps() as f64 / b.as_ps() as f64
+}
+
+/// Checks every quantitative relation the paper states about Table 1.
+pub fn check_table1_shape(results: &[VersionResult]) -> Vec<ShapeCheck> {
+    let mut checks = Vec::new();
+    let mut push = |name, paper: String, measured: String, pass: bool| {
+        checks.push(ShapeCheck {
+            name,
+            paper,
+            measured,
+            pass,
+        });
+    };
+    let ll = ModeSel::Lossless;
+    let lo = ModeSel::Lossy;
+
+    if let (Some(v1l), Some(v1y), Some(v2l), Some(v2y)) = (
+        get(results, VersionId::V1, ll),
+        get(results, VersionId::V1, lo),
+        get(results, VersionId::V2, ll),
+        get(results, VersionId::V2, lo),
+    ) {
+        let sl = ratio(v1l.decode_time, v2l.decode_time);
+        let sy = ratio(v1y.decode_time, v2y.decode_time);
+        push(
+            "v2 speedup",
+            "≈ 1.10 / 1.19 (lossless/lossy)".to_string(),
+            format!("{sl:.2} / {sy:.2}"),
+            (1.05..=1.15).contains(&sl) && (1.12..=1.25).contains(&sy),
+        );
+    }
+    if let (Some(v1l), Some(v1y), Some(v4l), Some(v4y)) = (
+        get(results, VersionId::V1, ll),
+        get(results, VersionId::V1, lo),
+        get(results, VersionId::V4, ll),
+        get(results, VersionId::V4, lo),
+    ) {
+        let sl = ratio(v1l.decode_time, v4l.decode_time);
+        let sy = ratio(v1y.decode_time, v4y.decode_time);
+        push(
+            "v4/v5 speedup",
+            "≈ 4.5 / 5".to_string(),
+            format!("{sl:.2} / {sy:.2}"),
+            (3.9..=4.8).contains(&sl) && (4.2..=5.3).contains(&sy),
+        );
+    }
+    if let (Some(v4), Some(v5)) = (
+        get(results, VersionId::V4, ll),
+        get(results, VersionId::V5, ll),
+    ) {
+        push(
+            "v5 vs v4",
+            "5 slightly slower than 4 (arbitration overhead)".to_string(),
+            format!(
+                "v4 {:.0} ms, v5 {:.0} ms",
+                v4.decode_time.as_ms_f64(),
+                v5.decode_time.as_ms_f64()
+            ),
+            v5.decode_time > v4.decode_time
+                && ratio(v5.decode_time, v4.decode_time) < 1.25,
+        );
+    }
+    if let (Some(v3), Some(v6a), Some(v6b)) = (
+        get(results, VersionId::V3, ll),
+        get(results, VersionId::V6a, ll),
+        get(results, VersionId::V6b, ll),
+    ) {
+        let ia = ratio(v6a.idwt_time, v3.idwt_time);
+        let ib = ratio(v6b.idwt_time, v3.idwt_time);
+        push(
+            "VTA IDWT inflation",
+            "increased up to a factor of 8".to_string(),
+            format!("6a ×{ia:.1}, 6b ×{ib:.1}"),
+            (4.0..=11.0).contains(&ia) && (4.0..=10.0).contains(&ib),
+        );
+    }
+    if let (Some(v6a), Some(v7a)) = (
+        get(results, VersionId::V6a, ll),
+        get(results, VersionId::V7a, ll),
+    ) {
+        push(
+            "7a vs 6a IDWT",
+            "7a worse: three more processors compete for the bus".to_string(),
+            format!(
+                "6a {:.2} ms, 7a {:.2} ms",
+                v6a.idwt_time.as_ms_f64(),
+                v7a.idwt_time.as_ms_f64()
+            ),
+            v7a.idwt_time > v6a.idwt_time,
+        );
+    }
+    if let (Some(v6b), Some(v7b)) = (
+        get(results, VersionId::V6b, ll),
+        get(results, VersionId::V7b, ll),
+    ) {
+        let r = ratio(v7b.idwt_time, v6b.idwt_time);
+        push(
+            "6b vs 7b IDWT",
+            "equal (same P2P connections, SO decouples bus)".to_string(),
+            format!("ratio {r:.3}"),
+            (0.97..=1.03).contains(&r),
+        );
+    }
+    for (mode, band, label) in [
+        (ll, (9.0, 14.0), "12× lossless"),
+        (lo, (12.0, 18.0), "16× lossy"),
+    ] {
+        if let (Some(v1), Some(v6b)) = (
+            get(results, VersionId::V1, mode),
+            get(results, VersionId::V6b, mode),
+        ) {
+            let adv = ratio(v1.idwt_time, v6b.idwt_time);
+            push(
+                if mode == ll {
+                    "HW IDWT advantage (lossless)"
+                } else {
+                    "HW IDWT advantage (lossy)"
+                },
+                format!("≈ {label}"),
+                format!("×{adv:.1}"),
+                adv >= band.0 && adv <= band.1,
+            );
+        }
+    }
+    checks
+}
+
+/// Renders Table 1 in the paper's layout.
+pub fn format_table1(results: &[VersionResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1 — Simulation results (16 tiles, 3 components, 100 MHz)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<4} {:<36} {:>12} {:>12} {:>12} {:>12}  func",
+        "Ver", "Model", "Dec[ms] ll", "Dec[ms] lossy", "IDWT[ms] ll", "IDWT[ms] lossy"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(104));
+    let mut section = false;
+    for v in VersionId::ALL {
+        if v.is_vta() && !section {
+            let _ = writeln!(out, "--- Virtual Target Architecture Layer ---");
+            section = true;
+        }
+        let l = get(results, v, ModeSel::Lossless);
+        let y = get(results, v, ModeSel::Lossy);
+        if let (Some(l), Some(y)) = (l, y) {
+            let _ = writeln!(
+                out,
+                "{:<4} {:<36} {:>12.1} {:>12.1} {:>12.2} {:>12.2}  {}",
+                v.to_string(),
+                v.description(),
+                l.decode_time.as_ms_f64(),
+                y.decode_time.as_ms_f64(),
+                l.idwt_time.as_ms_f64(),
+                y.idwt_time.as_ms_f64(),
+                if l.functional_ok && y.functional_ok {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                }
+            );
+        }
+    }
+    out
+}
+
+/// Renders Table 2 in the paper's layout.
+pub fn format_table2(rows: &[SynthesisRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2 — RTL synthesis results of the IDWT (Virtex-4 LX25)");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12} {:>12} {:>12}",
+        "", "53 FOSSY", "53 ref", "97 FOSSY", "97 ref"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(80));
+    let cell = |f: &dyn Fn(&SynthesisRow, bool) -> String| -> Vec<String> {
+        rows.iter()
+            .flat_map(|r| [f(r, true), f(r, false)])
+            .collect()
+    };
+    let lines: Vec<(&str, Vec<String>)> = vec![
+        (
+            "Slice flip-flops",
+            cell(&|r, fossy| {
+                format!("{}", if fossy { r.fossy.ffs } else { r.reference.ffs })
+            }),
+        ),
+        (
+            "4-input LUTs",
+            cell(&|r, fossy| {
+                format!("{}", if fossy { r.fossy.luts } else { r.reference.luts })
+            }),
+        ),
+        (
+            "Occupied slices",
+            cell(&|r, fossy| {
+                format!(
+                    "{}",
+                    if fossy { r.fossy.slices } else { r.reference.slices }
+                )
+            }),
+        ),
+        (
+            "Equivalent gates",
+            cell(&|r, fossy| {
+                format!(
+                    "{}",
+                    if fossy { r.fossy.gates } else { r.reference.gates }
+                )
+            }),
+        ),
+        (
+            "Est. frequency [MHz]",
+            cell(&|r, fossy| {
+                format!(
+                    "{:.1}",
+                    if fossy {
+                        r.fossy.fmax_mhz
+                    } else {
+                        r.reference.fmax_mhz
+                    }
+                )
+            }),
+        ),
+        (
+            "Lines of code",
+            cell(&|r, fossy| {
+                format!(
+                    "{}",
+                    if fossy { r.generated_loc } else { r.reference_loc }
+                )
+            }),
+        ),
+    ];
+    for (label, cells) in lines {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>12} {:>12}",
+            label, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(input LoC: IDWT53 {} / IDWT97 {})",
+        rows[0].input_loc, rows[1].input_loc
+    );
+    out
+}
+
+/// The model-version lineage of the paper's Figure 3.
+pub fn flow_text() -> String {
+    [
+        "Figure 3 — Implementation flow:",
+        "  reference SW -> profiling -> 1 (SW only)",
+        "  1 -> HW/SW partitioning (co-processor) -> 2",
+        "  2 -> re-scheduling (parallelisation & pipelining) -> 3",
+        "  2 -> SW parallelisation -> 4",
+        "  3 + 4 -> 5",
+        "  3 -> refinement & mapping -> 6a / 6b",
+        "  5 -> refinement & mapping -> 7a / 7b",
+        "  6/7 -> FOSSY -> implementation model",
+    ]
+    .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(v: VersionId, m: ModeSel, dec_ms: u64, idwt_ms: u64) -> VersionResult {
+        VersionResult {
+            version: v,
+            mode: m,
+            decode_time: SimTime::ms(dec_ms),
+            idwt_time: SimTime::ms(idwt_ms),
+            functional_ok: true,
+            so_arbitration_wait: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn formatting_includes_all_versions() {
+        let results: Vec<VersionResult> = VersionId::ALL
+            .iter()
+            .flat_map(|&v| {
+                ModeSel::ALL
+                    .iter()
+                    .map(move |&m| fake(v, m, 1000, 100))
+            })
+            .collect();
+        let text = format_table1(&results);
+        for v in VersionId::ALL {
+            assert!(text.contains(&format!("\n{v} ")) || text.starts_with(&format!("{v} ")) || text.contains(&format!("{v}  ")) || text.contains(v.description()), "{v} missing");
+        }
+        assert!(text.contains("Virtual Target Architecture"));
+    }
+
+    #[test]
+    fn shape_checks_pass_on_constructed_ideal_data() {
+        // Construct results that match every paper relation.
+        let mut results = Vec::new();
+        for (v, dl, dy, il, iy) in [
+            (VersionId::V1, 3243u64, 3664u64, 178u64, 454u64),
+            (VersionId::V2, 2980, 3090, 2, 5),
+            (VersionId::V3, 2900, 2930, 2, 5),
+            (VersionId::V4, 741, 766, 2, 5),
+            (VersionId::V5, 760, 790, 2, 5),
+            (VersionId::V6a, 2950, 2990, 17, 36),
+            (VersionId::V6b, 2940, 2980, 15, 30),
+            (VersionId::V7a, 800, 830, 21, 44),
+            (VersionId::V7b, 790, 820, 15, 30),
+        ] {
+            results.push(fake(v, ModeSel::Lossless, dl, il));
+            results.push(fake(v, ModeSel::Lossy, dy, iy));
+        }
+        let checks = check_table1_shape(&results);
+        assert!(checks.len() >= 7);
+        for c in &checks {
+            assert!(c.pass, "{}: paper `{}` measured `{}`", c.name, c.paper, c.measured);
+        }
+    }
+
+    #[test]
+    fn flow_text_mentions_every_version() {
+        let f = flow_text();
+        for s in ["1", "2", "3", "4", "5", "6a", "7b", "FOSSY"] {
+            assert!(f.contains(s));
+        }
+    }
+}

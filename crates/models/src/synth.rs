@@ -1,0 +1,156 @@
+//! The Table 2 experiment: RTL synthesis of the IDWT blocks, FOSSY flow
+//! versus hand-written reference, plus the Figure 4 artefact generation.
+
+use fossy::emit::{loc, platform, systemc, vhdl};
+use fossy::estimate::{estimate_entity, ResourceReport, Virtex4};
+use fossy::idwt;
+use fossy::passes::inline_entity;
+use osss_vta::PlatformDesc;
+
+/// One Table 2 column pair: a design synthesised through FOSSY and its
+/// hand-written reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisRow {
+    /// `"IDWT53"` or `"IDWT97"`.
+    pub design: &'static str,
+    /// FOSSY-flow estimate.
+    pub fossy: ResourceReport,
+    /// Hand-reference estimate.
+    pub reference: ResourceReport,
+    /// Lines of the synthesisable input description (SystemC rendering).
+    pub input_loc: usize,
+    /// Lines of the FOSSY-generated VHDL.
+    pub generated_loc: usize,
+    /// Lines of the reference VHDL.
+    pub reference_loc: usize,
+}
+
+/// Runs both IDWT designs through the synthesis flow and the estimator.
+pub fn table2() -> Vec<SynthesisRow> {
+    let device = Virtex4::lx25();
+    let mut rows = Vec::with_capacity(2);
+    for (design, input, reference) in [
+        ("IDWT53", idwt::idwt53_fossy_input(), idwt::idwt53_reference()),
+        ("IDWT97", idwt::idwt97_fossy_input(), idwt::idwt97_reference()),
+    ] {
+        let synthesised = inline_entity(&input);
+        let generated =
+            vhdl::emit_entity_styled(&synthesised, vhdl::Style::ThreeAddress);
+        vhdl::structural_check(&generated).expect("generated VHDL is sound");
+        let reference_code = vhdl::emit_entity(&reference);
+        vhdl::structural_check(&reference_code).expect("reference VHDL is sound");
+        rows.push(SynthesisRow {
+            design,
+            fossy: estimate_entity(&synthesised, &device),
+            reference: estimate_entity(&reference, &device),
+            input_loc: loc(&systemc::emit_entity(&input)),
+            generated_loc: loc(&generated),
+            reference_loc: loc(&reference_code),
+        });
+    }
+    rows
+}
+
+/// The generated implementation-model artefacts of Figure 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowArtefacts {
+    /// FOSSY VHDL per hardware block, `(entity name, code)`.
+    pub vhdl: Vec<(String, String)>,
+    /// The generated C task sources, `(task name, code)`.
+    pub c_sources: Vec<(String, String)>,
+    /// The OSSS embedded runtime header.
+    pub runtime_header: String,
+    /// The MHS platform file.
+    pub mhs: String,
+    /// The MSS platform file.
+    pub mss: String,
+}
+
+/// Generates every implementation-model artefact for the case-study
+/// platform (the output side of Figure 4).
+pub fn synthesis_flow() -> FlowArtefacts {
+    let platform = PlatformDesc::ml401_case_study();
+    platform.validate().expect("case-study platform is valid");
+    let mut vhdl_out = Vec::new();
+    for input in [idwt::idwt53_fossy_input(), idwt::idwt97_fossy_input()] {
+        let synthesised = inline_entity(&input);
+        vhdl_out.push((
+            synthesised.name.clone(),
+            vhdl::emit_entity_styled(&synthesised, vhdl::Style::ThreeAddress),
+        ));
+    }
+    let task = fossy::emit::c::SwTaskDesc {
+        name: "arith_decoder_ict_dcshift".to_string(),
+        calls: vec![
+            fossy::emit::c::RemoteCall {
+                name: "so_put_tile".to_string(),
+                method_id: 1,
+                arg_words: crate::timing::TILE_WORDS as u32,
+                result_words: 0,
+            },
+            fossy::emit::c::RemoteCall {
+                name: "so_get_tile".to_string(),
+                method_id: 2,
+                arg_words: 1,
+                result_words: crate::timing::TILE_WORDS as u32,
+            },
+        ],
+        body: vec![
+            "uint32_t tile[TILE_WORDS];".to_string(),
+            "arith_decode_tile(tile);".to_string(),
+            "so_put_tile(tile, 0);".to_string(),
+            "so_get_tile(tile, 0);".to_string(),
+            "ict_and_dc_shift(tile);".to_string(),
+        ],
+    };
+    FlowArtefacts {
+        vhdl: vhdl_out,
+        c_sources: vec![(task.name.clone(), fossy::emit::c::emit_task(&task))],
+        runtime_header: fossy::emit::c::emit_runtime_header(),
+        mhs: platform::emit_mhs(&platform),
+        mss: platform::emit_mss(&platform),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_the_paper_shape() {
+        let rows = table2();
+        assert_eq!(rows.len(), 2);
+        let r53 = &rows[0];
+        // 5/3: FOSSY moderately larger, similar speed.
+        let area = r53.fossy.slices as f64 / r53.reference.slices as f64;
+        assert!((1.0..1.5).contains(&area), "53 area ratio {area:.2}");
+        let speed = r53.fossy.fmax_mhz / r53.reference.fmax_mhz;
+        assert!((0.8..1.2).contains(&speed), "53 speed ratio {speed:.2}");
+        // Both meet the 100 MHz platform clock.
+        assert!(r53.fossy.fmax_mhz > 100.0 && r53.reference.fmax_mhz > 100.0);
+
+        let r97 = &rows[1];
+        // 9/7: FOSSY smaller but slower.
+        assert!(r97.fossy.slices < r97.reference.slices);
+        assert!(r97.fossy.fmax_mhz < r97.reference.fmax_mhz);
+        // Generated code far exceeds its input; reference stays close.
+        for r in &rows {
+            assert!(r.generated_loc as f64 > 1.5 * r.input_loc as f64);
+            assert!(r.generated_loc > r.reference_loc);
+        }
+    }
+
+    #[test]
+    fn flow_artefacts_are_complete_and_sound() {
+        let a = synthesis_flow();
+        assert_eq!(a.vhdl.len(), 2);
+        for (name, code) in &a.vhdl {
+            assert!(code.contains(&format!("entity {name}")));
+        }
+        assert_eq!(a.c_sources.len(), 1);
+        fossy::emit::c::structural_check(&a.c_sources[0].1).expect("C sound");
+        fossy::emit::c::structural_check(&a.runtime_header).expect("header sound");
+        assert!(a.mhs.contains("ppc405_0"));
+        assert!(a.mss.contains("osss_embedded"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Timing calibration from the paper's published measurements.
+//!
+//! The paper gives two anchors: the per-stage execution-time profile of
+//! the software-only decoder (Figure 1) and the ~180 ms the arithmetic
+//! decoder takes per tile on the target processor (the `OSSS_EET`
+//! listing). Everything else — hardware acceleration on the Application
+//! Layer, channel word counts and memory access counts on the VTA layer —
+//! is expressed through those anchors plus the cycle-accurate resource
+//! models in `osss-vta`.
+
+use osss_sim::{Frequency, SimTime};
+
+use crate::ModeSel;
+
+/// Platform clock: both the processor and the OPB bus run at 100 MHz.
+pub fn platform_clock() -> Frequency {
+    Frequency::mhz(100)
+}
+
+/// Figure 1 stage shares in percent:
+/// `[arith decoder, IQ, IDWT, ICT, DC shift]`.
+pub fn figure1_shares(mode: ModeSel) -> [f64; 5] {
+    match mode {
+        ModeSel::Lossless => [88.8, 3.2, 5.5, 0.7, 1.8],
+        ModeSel::Lossy => [78.6, 4.2, 12.4, 1.2, 3.6],
+    }
+}
+
+/// Arithmetic decoding of a single tile on the target CPU (the paper's
+/// software timing annotation).
+pub const ARITH_PER_TILE: SimTime = SimTime::ms(180);
+
+/// Tiles in the evaluation workload ("16 tiles with 3 components").
+pub const NUM_TILES: usize = 16;
+
+/// Per-tile software execution times of each stage, derived from the
+/// 180 ms arithmetic anchor and the Figure 1 shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Arithmetic (MQ/EBCOT) decoding.
+    pub arith: SimTime,
+    /// Inverse quantisation.
+    pub iq: SimTime,
+    /// Inverse DWT.
+    pub idwt: SimTime,
+    /// Inverse component transform.
+    pub ict: SimTime,
+    /// DC level shift.
+    pub dc: SimTime,
+}
+
+impl StageTimes {
+    /// Total per-tile software time.
+    pub fn total(&self) -> SimTime {
+        self.arith + self.iq + self.idwt + self.ict + self.dc
+    }
+}
+
+/// Software (CPU) per-tile stage times for `mode`.
+pub fn sw_stage_times(mode: ModeSel) -> StageTimes {
+    let shares = figure1_shares(mode);
+    let arith_ps = ARITH_PER_TILE.as_ps() as f64;
+    let total = arith_ps / (shares[0] / 100.0);
+    let of = |pct: f64| SimTime::ps((total * pct / 100.0) as u64);
+    StageTimes {
+        arith: ARITH_PER_TILE,
+        iq: of(shares[1]),
+        idwt: of(shares[2]),
+        ict: of(shares[3]),
+        dc: of(shares[4]),
+    }
+}
+
+/// Application-Layer hardware acceleration for the IQ + IDWT co-processor
+/// (parallel lifting datapath vs. sequential software): the value is
+/// chosen so that the ×8 VTA refinement inflation of the IDWT time still
+/// leaves the 12×/16× end-to-end hardware advantage the paper reports.
+pub const HW_ACCEL_APP: u64 = 96;
+
+/// Hardware IQ time per tile on the Application Layer.
+pub fn hw_iq_time(mode: ModeSel) -> SimTime {
+    sw_stage_times(mode).iq / HW_ACCEL_APP
+}
+
+/// Hardware IDWT time per tile on the Application Layer.
+pub fn hw_idwt_time(mode: ModeSel) -> SimTime {
+    sw_stage_times(mode).idwt / HW_ACCEL_APP
+}
+
+/// Tile copy into/out of the HW/SW shared object's internal data
+/// structure (versions 3 and 5 store tiles *inside* the object; the plain
+/// co-processor calls of versions 2 and 4 pass them by reference).
+pub fn so_copy_time() -> SimTime {
+    SimTime::us(100)
+}
+
+/// Per-call arbitration/grant latency of a shared object, growing with
+/// the number of connected clients (the synthesised arbiter's grant path
+/// does). Version 5's seven-client object pays this on every one of its
+/// five accesses per tile — the paper's "arbitration overhead" that makes
+/// 5 slightly slower than 4.
+pub fn so_arb_delay(clients: usize) -> SimTime {
+    SimTime::us(25) * clients as u64
+}
+
+/// Paper-scale tile payload in 32-bit bus words (256×256 16-bit samples,
+/// two per word): what one RMI tile transfer moves at the VTA layer.
+pub const TILE_WORDS: usize = 32_768;
+
+/// IDWT parameter-set size in words (the "IDWT params" shared object
+/// moves filter/geometry parameter sequences, not bulk data).
+pub const PARAM_WORDS: usize = 16;
+
+/// Parameter exchanges between IDWT2D and the filter blocks per tile.
+pub const PARAM_EXCHANGES_PER_TILE: usize = 8;
+
+/// Command/descriptor words exchanged when an IDWT block fetches work
+/// from / stores results into the HW/SW shared object (the bulk samples
+/// live in the object's block RAM and are charged there).
+pub const FILTER_CMD_WORDS: usize = 64;
+
+/// Block-RAM accesses of the VTA IDWT per tile: after explicit memory
+/// insertion every lifting pass reads and writes the 256×256 tile from
+/// block RAM. Calibrated so the refined IDWT (memory + compute) lands at
+/// the paper's 12× (lossless) / 16× (lossy) overall advantage versus
+/// software: 5/3 ≈ 1.2 accesses/sample, 9/7 ≈ 2.25 accesses/sample
+/// (more lifting steps).
+pub fn vta_idwt_mem_accesses(mode: ModeSel) -> (u64, u64) {
+    let samples = 65_536u64; // 256×256 paper-scale tile
+    match mode {
+        // (reads, writes) — totals 1.2× / 2.25× samples.
+        ModeSel::Lossless => (samples * 6 / 10, samples * 6 / 10),
+        ModeSel::Lossy => (samples * 12 / 10, samples * 21 / 20),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_100() {
+        for mode in ModeSel::ALL {
+            let sum: f64 = figure1_shares(mode).iter().sum();
+            assert!((sum - 100.0).abs() < 1e-9, "{mode}: {sum}");
+        }
+    }
+
+    #[test]
+    fn stage_times_match_shares() {
+        let t = sw_stage_times(ModeSel::Lossless);
+        assert_eq!(t.arith, SimTime::ms(180));
+        // Total ≈ 180 / 0.888 ≈ 202.7 ms.
+        assert!((t.total().as_ms_f64() - 202.7).abs() < 0.2);
+        // IDWT ≈ 5.5 % of total ≈ 11.15 ms.
+        assert!((t.idwt.as_ms_f64() - 11.15).abs() < 0.1);
+
+        let t = sw_stage_times(ModeSel::Lossy);
+        assert!((t.total().as_ms_f64() - 229.0).abs() < 0.3);
+        assert!((t.idwt.as_ms_f64() - 28.4).abs() < 0.2);
+    }
+
+    #[test]
+    fn hw_times_are_much_smaller() {
+        for mode in ModeSel::ALL {
+            let sw = sw_stage_times(mode);
+            assert_eq!(hw_idwt_time(mode), sw.idwt / 96);
+            assert!(hw_idwt_time(mode) < sw.idwt / 50);
+        }
+    }
+
+    #[test]
+    fn vta_idwt_memory_cost_targets_12x_16x() {
+        let clk = platform_clock();
+        // Refined IDWT = BRAM traffic + hardware compute.
+        let (r, w) = vta_idwt_mem_accesses(ModeSel::Lossless);
+        let refined = clk.cycles(r + w) + hw_idwt_time(ModeSel::Lossless);
+        let sw = sw_stage_times(ModeSel::Lossless).idwt;
+        let ratio = sw.as_ps() as f64 / refined.as_ps() as f64;
+        assert!((10.0..=14.0).contains(&ratio), "lossless ratio {ratio:.1}");
+
+        let (r, w) = vta_idwt_mem_accesses(ModeSel::Lossy);
+        let refined = clk.cycles(r + w) + hw_idwt_time(ModeSel::Lossy);
+        let sw = sw_stage_times(ModeSel::Lossy).idwt;
+        let ratio = sw.as_ps() as f64 / refined.as_ps() as f64;
+        assert!((14.0..=18.0).contains(&ratio), "lossy ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn vta_inflation_is_at_most_about_8x() {
+        // (6a/6b vs 3): BRAM-refined IDWT over Application-Layer HW IDWT —
+        // the paper reports an increase "up to a factor of 8".
+        for mode in ModeSel::ALL {
+            let (r, w) = vta_idwt_mem_accesses(mode);
+            let refined = platform_clock().cycles(r + w) + hw_idwt_time(mode);
+            let app = hw_idwt_time(mode);
+            let inflation = refined.as_ps() as f64 / app.as_ps() as f64;
+            assert!(
+                (4.0..=9.0).contains(&inflation),
+                "{mode}: inflation {inflation:.1}"
+            );
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Virtual-Target-Architecture model versions 6a, 6b, 7a and 7b.
+//!
+//! The pipelined Application-Layer structure (versions 3 and 5) is mapped
+//! onto architecture resources:
+//!
+//! * software tasks → [`SoftwareProcessor`]s (one per task),
+//! * the HW/SW shared object behind the **OPB bus** via RMI — tile
+//!   payloads are serialised into bus words,
+//! * the IDWT-params object behind dedicated **point-to-point** links,
+//! * the IDWT blocks' data links to the HW/SW object on the bus (6a/7a)
+//!   or on point-to-point channels (6b/7b),
+//! * the shared object's tile storage in explicit **block RAM**, whose
+//!   per-access cycles the filter blocks pay during the transform.
+
+use std::sync::Arc;
+
+use bytes::BytesMut;
+
+use jpeg2000::codec::{TileSamples, TileWavelet};
+use osss_core::{sched::Fcfs, SharedObject, SwTask};
+use osss_sim::{SimError, Simulation};
+use osss_vta::{
+    BusConfig, Channel, OpbBus, P2pChannel, RmiService, Serialise, SoftwareProcessor,
+    XilinxBlockRam,
+};
+
+use crate::app::{finish, HwSwState, Metrics, Outputs, ParamsState};
+use crate::timing::{
+    hw_idwt_time, hw_iq_time, platform_clock, sw_stage_times, vta_idwt_mem_accesses,
+    FILTER_CMD_WORDS, NUM_TILES, PARAM_WORDS, TILE_WORDS,
+};
+use crate::workload::workload;
+use crate::{ModeSel, VersionId, VersionResult};
+
+/// A payload whose only role is its serialised size in words — RMI costs
+/// depend on the declared interface width, and moving real megabytes
+/// through the byte buffers would change nothing but heat.
+struct Words(usize);
+
+impl Serialise for Words {
+    fn serialised_bytes(&self) -> usize {
+        self.0 * 4
+    }
+    fn write(&self, out: &mut BytesMut) {
+        out.resize(out.len() + self.serialised_bytes(), 0);
+    }
+}
+
+/// Architecture choices distinguishing the four VTA models.
+pub(crate) struct VtaConfig {
+    n_sw_tasks: usize,
+    filter_links_p2p: bool,
+    version: VersionId,
+}
+
+impl VtaConfig {
+    /// An exploration point for the scaling ablation: `n` software tasks
+    /// on `n` processors, filter links on the bus or on P2P channels.
+    pub(crate) fn scaling(n: usize, p2p: bool) -> Self {
+        VtaConfig {
+            n_sw_tasks: n,
+            filter_links_p2p: p2p,
+            version: if p2p { VersionId::V7b } else { VersionId::V7a },
+        }
+    }
+
+    pub(crate) fn v6a() -> Self {
+        VtaConfig {
+            n_sw_tasks: 1,
+            filter_links_p2p: false,
+            version: VersionId::V6a,
+        }
+    }
+    pub(crate) fn v6b() -> Self {
+        VtaConfig {
+            n_sw_tasks: 1,
+            filter_links_p2p: true,
+            version: VersionId::V6b,
+        }
+    }
+    pub(crate) fn v7a() -> Self {
+        VtaConfig {
+            n_sw_tasks: 4,
+            filter_links_p2p: false,
+            version: VersionId::V7a,
+        }
+    }
+    pub(crate) fn v7b() -> Self {
+        VtaConfig {
+            n_sw_tasks: 4,
+            filter_links_p2p: true,
+            version: VersionId::V7b,
+        }
+    }
+}
+
+pub(crate) fn run_vta(mode: ModeSel, cfg: VtaConfig) -> Result<VersionResult, SimError> {
+    let w = workload(mode);
+    let t = sw_stage_times(mode);
+    let (hw_iq, hw_idwt) = (hw_iq_time(mode), hw_idwt_time(mode));
+    let clk = platform_clock();
+    let mut sim = Simulation::new();
+    let metrics = Metrics::new();
+    let outputs = Outputs::new(NUM_TILES);
+
+    // Architecture resources.
+    let bus = Arc::new(OpbBus::new(&mut sim, "opb", BusConfig::opb_100mhz()));
+    let hwsw = SharedObject::new(&mut sim, "hwsw_so", HwSwState::new(2), Fcfs::new());
+    let params = SharedObject::new(&mut sim, "idwt_params_so", ParamsState::default(), Fcfs::new());
+    let bram = XilinxBlockRam::<i16>::new(&mut sim, "tile_bram", 2 * 65_536, clk);
+
+    // RMI bindings. Software side always crosses the OPB bus.
+    let sw_rmi = RmiService::new(hwsw.clone(), Arc::clone(&bus) as Arc<dyn Channel>);
+    // IDWT blocks: bus in the *a* variants, dedicated links in *b*.
+    let filter_channel: Arc<dyn Channel> = if cfg.filter_links_p2p {
+        Arc::new(P2pChannel::new(&mut sim, "link_idwt_data", clk))
+    } else {
+        Arc::clone(&bus) as Arc<dyn Channel>
+    };
+    let filter_rmi = RmiService::new(hwsw.clone(), Arc::clone(&filter_channel));
+    // Params object always sits behind point-to-point links.
+    let params_rmi = RmiService::new(
+        params.clone(),
+        Arc::new(P2pChannel::new(&mut sim, "link_idwt_params", clk)) as Arc<dyn Channel>,
+    );
+
+    // Software tasks, each mapped onto its own processor (the paper's
+    // version 7 has "three more processors" competing for the bus).
+    for k in 0..cfg.n_sw_tasks {
+        let cpu = SoftwareProcessor::new(&mut sim, &format!("ppc405_{k}"), clk);
+        let dec = Arc::clone(&w.decoder);
+        let o2 = outputs.clone();
+        let rmi = sw_rmi.clone();
+        let n = cfg.n_sw_tasks;
+        let env = cpu.env(&format!("sw_task{k}"));
+        SwTask::spawn_with_env(&mut sim, &format!("sw_task{k}"), env, move |env, ctx| {
+            for i in (k..NUM_TILES).step_by(n) {
+                let coeffs = env.eet(ctx, t.arith, || {
+                    dec.entropy_decode_tile(i).expect("entropy decode")
+                })?;
+                // Serialised tile transfer over the bus, then the guarded
+                // store into the object's bounded buffer.
+                rmi.invoke_guarded(
+                    ctx,
+                    &Words(TILE_WORDS),
+                    &Words(0),
+                    |s| s.pending.len() < s.capacity,
+                    |s, _| {
+                        s.pending.push_back((i, coeffs));
+                        Ok(())
+                    },
+                )?;
+            }
+            for i in (k..NUM_TILES).step_by(n) {
+                let samples = rmi.invoke_guarded(
+                    ctx,
+                    &Words(1),
+                    &Words(TILE_WORDS),
+                    move |s| s.results.contains_key(&i),
+                    move |s, _| Ok(s.results.remove(&i).expect("guard held")),
+                )?;
+                let samples = env.eet(ctx, t.ict, || dec.inverse_mct_tile(samples))?;
+                let samples = env.eet(ctx, t.dc, || dec.dc_unshift_tile(samples))?;
+                o2.place(i, samples);
+            }
+            Ok(())
+        });
+    }
+
+    // IDWT2D control block.
+    {
+        let dec = Arc::clone(&w.decoder);
+        let ctrl_rmi = filter_rmi.clone();
+        let params_rmi = params_rmi.clone();
+        let m2 = metrics.clone();
+        sim.spawn_process("idwt2d_ctrl", move |ctx| loop {
+            let i = ctrl_rmi.invoke_guarded(
+                ctx,
+                &Words(FILTER_CMD_WORDS),
+                &Words(FILTER_CMD_WORDS),
+                |s| !s.pending.is_empty(),
+                |s, ctx| {
+                    let (i, coeffs) = s.pending.pop_front().expect("guard held");
+                    let wavelet = dec.dequantize_tile(&coeffs);
+                    ctx.wait(hw_iq)?;
+                    s.wavelets.insert(i, wavelet);
+                    Ok(i)
+                },
+            )?;
+            let t0 = ctx.now();
+            params_rmi.invoke(ctx, &Words(PARAM_WORDS), &Words(0), |p, _| {
+                p.request = Some(i);
+                Ok(())
+            })?;
+            params_rmi.invoke_guarded(
+                ctx,
+                &Words(PARAM_WORDS),
+                &Words(PARAM_WORDS),
+                move |p| p.response == Some(i),
+                |p, _| {
+                    p.response = None;
+                    Ok(())
+                },
+            )?;
+            m2.add_idwt(ctx.now() - t0);
+        });
+    }
+
+    // Filter blocks with explicit-memory traffic.
+    let (mem_reads, mem_writes) = vta_idwt_mem_accesses(mode);
+    for (name, serves) in [("idwt53", ModeSel::Lossless), ("idwt97", ModeSel::Lossy)] {
+        let dec = Arc::clone(&w.decoder);
+        let filter_rmi = filter_rmi.clone();
+        let params_rmi = params_rmi.clone();
+        let bram = bram.clone();
+        let active = serves == mode;
+        sim.spawn_process(name, move |ctx| loop {
+            if !active {
+                return Ok(());
+            }
+            let i = params_rmi.invoke_guarded(
+                ctx,
+                &Words(PARAM_WORDS),
+                &Words(PARAM_WORDS),
+                |p| p.request.is_some(),
+                |p, _| Ok(p.request.take().expect("guard held")),
+            )?;
+            let wavelet: TileWavelet = filter_rmi.invoke_guarded(
+                ctx,
+                &Words(FILTER_CMD_WORDS),
+                &Words(FILTER_CMD_WORDS),
+                move |s| s.wavelets.contains_key(&i),
+                move |s, _| Ok(s.wavelets.remove(&i).expect("guard held")),
+            )?;
+            // The transform: every lifting pass streams the tile through
+            // the object's block RAM, plus the datapath time itself.
+            let samples: TileSamples = {
+                let out = dec.idwt_tile(wavelet);
+                bram.charge_burst(ctx, mem_reads, mem_writes)?;
+                ctx.wait(hw_idwt)?;
+                out
+            };
+            filter_rmi.invoke(ctx, &Words(FILTER_CMD_WORDS), &Words(0), move |s, _| {
+                s.results.insert(i, samples);
+                Ok(())
+            })?;
+            params_rmi.invoke(ctx, &Words(PARAM_WORDS), &Words(0), |p, _| {
+                p.response = Some(i);
+                Ok(())
+            })?;
+        });
+    }
+
+    let report = sim.run()?;
+    let wait = hwsw.stats().total_arbitration_wait + params.stats().total_arbitration_wait;
+    finish(cfg.version, mode, &w, &report, &metrics, &outputs, wait)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_version;
+    use osss_sim::SimTime;
+
+    fn ms(t: SimTime) -> f64 {
+        t.as_ms_f64()
+    }
+
+    #[test]
+    fn vta_models_are_functionally_correct() {
+        for v in [VersionId::V6a, VersionId::V6b, VersionId::V7a, VersionId::V7b] {
+            let r = run_version(v, ModeSel::Lossless).expect("run");
+            assert!(r.functional_ok, "{v} output mismatch");
+        }
+    }
+
+    #[test]
+    fn idwt_inflation_from_refinement_is_bounded_by_about_8x() {
+        for mode in ModeSel::ALL {
+            let v3 = run_version(VersionId::V3, mode).expect("v3");
+            let v6b = run_version(VersionId::V6b, mode).expect("v6b");
+            let inflation = ms(v6b.idwt_time) / ms(v3.idwt_time);
+            assert!(
+                (4.0..=10.0).contains(&inflation),
+                "{mode}: inflation {inflation:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn bus_only_mapping_is_slower_for_idwt_than_p2p() {
+        for (va, vb) in [(VersionId::V6a, VersionId::V6b), (VersionId::V7a, VersionId::V7b)] {
+            let a = run_version(va, ModeSel::Lossless).expect("a");
+            let b = run_version(vb, ModeSel::Lossless).expect("b");
+            assert!(
+                a.idwt_time > b.idwt_time,
+                "{va} IDWT {} should exceed {vb} IDWT {}",
+                a.idwt_time,
+                b.idwt_time
+            );
+        }
+    }
+
+    #[test]
+    fn more_processors_worsen_bus_idwt_but_not_p2p() {
+        let mode = ModeSel::Lossless;
+        let v6a = run_version(VersionId::V6a, mode).expect("6a");
+        let v7a = run_version(VersionId::V7a, mode).expect("7a");
+        assert!(
+            v7a.idwt_time > v6a.idwt_time,
+            "four processors on the bus must hurt: 6a {} vs 7a {}",
+            v6a.idwt_time,
+            v7a.idwt_time
+        );
+        let v6b = run_version(VersionId::V6b, mode).expect("6b");
+        let v7b = run_version(VersionId::V7b, mode).expect("7b");
+        let ratio = ms(v7b.idwt_time) / ms(v6b.idwt_time);
+        assert!(
+            (0.97..=1.03).contains(&ratio),
+            "P2P decouples the IDWT from the bus: 6b {} vs 7b {}",
+            v6b.idwt_time,
+            v7b.idwt_time
+        );
+    }
+
+    #[test]
+    fn hw_idwt_advantage_survives_refinement_12x_16x() {
+        for (mode, lo, hi) in [(ModeSel::Lossless, 9.0, 14.0), (ModeSel::Lossy, 12.0, 18.0)] {
+            let v1 = run_version(VersionId::V1, mode).expect("v1");
+            let v6b = run_version(VersionId::V6b, mode).expect("6b");
+            let advantage = ms(v1.idwt_time) / ms(v6b.idwt_time);
+            assert!(
+                (lo..=hi).contains(&advantage),
+                "{mode}: advantage {advantage:.1} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn overall_decode_time_stays_sw_dominated() {
+        let mode = ModeSel::Lossless;
+        let v3 = run_version(VersionId::V3, mode).expect("v3");
+        let v6b = run_version(VersionId::V6b, mode).expect("6b");
+        let overhead = ms(v6b.decode_time) / ms(v3.decode_time);
+        assert!(
+            (1.0..=1.10).contains(&overhead),
+            "refinement must not change the big picture: {overhead:.3}"
+        );
+    }
+}

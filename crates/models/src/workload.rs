@@ -1,0 +1,89 @@
+//! The evaluation workload: a synthetic 3-component image encoded into a
+//! 16-tile codestream, matching the paper's "16 tiles with 3 components".
+//!
+//! Built once per mode and shared by every model run (the codestream is
+//! immutable; the staged decoder is `Sync`).
+
+use std::sync::{Arc, OnceLock};
+
+use jpeg2000::codec::{decode, encode, EncodeParams, Mode, StagedDecoder};
+use jpeg2000::image::Image;
+
+use crate::ModeSel;
+
+/// The shared workload of one mode.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The original image.
+    pub image: Arc<Image>,
+    /// The encoded codestream.
+    pub codestream: Arc<Vec<u8>>,
+    /// The staged decoder over that codestream.
+    pub decoder: Arc<StagedDecoder>,
+    /// The reference decode result (what every model must reproduce).
+    pub reference: Arc<Image>,
+}
+
+fn build(mode: ModeSel) -> Workload {
+    // 128×128 with 32×32 tiles = 16 tiles, 3 components.
+    let image = Image::synthetic_rgb(128, 128, 2008);
+    let params = match mode {
+        ModeSel::Lossless => EncodeParams::new(Mode::Lossless),
+        ModeSel::Lossy => EncodeParams::new(Mode::lossy_default()),
+    }
+    .tile_size(32, 32);
+    let codestream = encode(&image, &params).expect("encode workload");
+    let decoder = StagedDecoder::new(&codestream).expect("parse workload");
+    assert_eq!(decoder.num_tiles(), crate::timing::NUM_TILES);
+    let reference = decode(&codestream).expect("reference decode").image;
+    Workload {
+        image: Arc::new(image),
+        codestream: Arc::new(codestream),
+        decoder: Arc::new(decoder),
+        reference: Arc::new(reference),
+    }
+}
+
+/// The cached workload for `mode`.
+pub fn workload(mode: ModeSel) -> Workload {
+    static LOSSLESS: OnceLock<Workload> = OnceLock::new();
+    static LOSSY: OnceLock<Workload> = OnceLock::new();
+    match mode {
+        ModeSel::Lossless => LOSSLESS.get_or_init(|| build(ModeSel::Lossless)).clone(),
+        ModeSel::Lossy => LOSSY.get_or_init(|| build(ModeSel::Lossy)).clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_16_tiles_3_components() {
+        for mode in ModeSel::ALL {
+            let w = workload(mode);
+            assert_eq!(w.decoder.num_tiles(), 16);
+            assert_eq!(w.decoder.header().num_components, 3);
+        }
+    }
+
+    #[test]
+    fn lossless_reference_is_exact() {
+        let w = workload(ModeSel::Lossless);
+        assert_eq!(*w.reference, *w.image);
+    }
+
+    #[test]
+    fn lossy_reference_is_close() {
+        let w = workload(ModeSel::Lossy);
+        let psnr = w.image.psnr(&w.reference);
+        assert!(psnr > 30.0, "PSNR {psnr:.1}");
+    }
+
+    #[test]
+    fn workload_is_cached() {
+        let a = workload(ModeSel::Lossless);
+        let b = workload(ModeSel::Lossless);
+        assert!(Arc::ptr_eq(&a.decoder, &b.decoder));
+    }
+}

@@ -1,0 +1,907 @@
+//! The discrete-event scheduler and its process bookkeeping.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::context::Context;
+use crate::error::{SimError, SimResult};
+use crate::event::{Event, EventId};
+use crate::time::SimTime;
+
+/// Identifier of a process inside one simulation.
+///
+/// Shared-object arbiters use it as the *client identity* of a caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub(crate) usize);
+
+impl ProcId {
+    /// Builds a process id from its raw index. Intended for tests of
+    /// arbitration policies; ids obtained this way only match real
+    /// processes of the simulation they were copied from.
+    pub fn from_raw(index: usize) -> Self {
+        ProcId(index)
+    }
+
+    /// The raw index of this process inside its simulation.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+/// How long [`Simulation::run_limit`] should keep going.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLimit {
+    /// Run until no timed or delta activity remains.
+    Exhausted,
+    /// Run until simulated time would exceed the given instant.
+    Until(SimTime),
+}
+
+/// Boxed process body.
+pub(crate) type ProcessFn = Box<dyn FnOnce(&Context) -> SimResult<()> + Send + 'static>;
+
+/// Kernel → process command.
+pub(crate) enum Resume {
+    Go,
+    Terminate,
+}
+
+/// Process → kernel handoff.
+pub(crate) enum YieldMsg {
+    /// The process registered a wait and handed control back.
+    Waiting,
+    /// The process body returned (or panicked).
+    Finished(SimResult<()>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    Proc(ProcId, u64),
+    Event(EventId),
+}
+
+#[derive(Debug)]
+struct TimedEntry {
+    time: SimTime,
+    seq: u64,
+    wake: Wake,
+}
+
+impl PartialEq for TimedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for TimedEntry {}
+impl PartialOrd for TimedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcStatus {
+    Runnable,
+    Waiting,
+    Finished,
+}
+
+struct ProcRec {
+    name: Arc<str>,
+    status: ProcStatus,
+    /// Generation counter: each blocking wait bumps it, making wakeups from
+    /// cancelled/stale sources (lost races of `wait_any`, expired timeouts)
+    /// no-ops.
+    wait_gen: u64,
+    /// Which event woke the process, if any (None for timed wakeups).
+    wake_reason: Option<EventId>,
+    /// Events this process is currently registered on (for cleanup).
+    registered: Vec<EventId>,
+}
+
+struct EventRec {
+    name: String,
+    waiters: Vec<(ProcId, u64)>,
+}
+
+struct PendingSpawn {
+    name: String,
+    body: ProcessFn,
+}
+
+/// Hook run during the update phase (used by [`crate::prim::Signal`]).
+pub(crate) trait UpdateHook: Send + Sync {
+    /// Applies the pending value; returns the event to delta-notify if the
+    /// observable value changed.
+    fn apply(&self) -> Option<EventId>;
+}
+
+pub(crate) struct SimState {
+    pub(crate) now: SimTime,
+    seq: u64,
+    timed: BinaryHeap<Reverse<TimedEntry>>,
+    runnable: VecDeque<ProcId>,
+    procs: Vec<ProcRec>,
+    events: Vec<EventRec>,
+    pending_delta: Vec<EventId>,
+    pending_updates: Vec<Arc<dyn UpdateHook>>,
+    pending_spawns: Vec<PendingSpawn>,
+    pub(crate) ended: bool,
+    deltas_total: u64,
+    deltas_this_step: u64,
+}
+
+impl SimState {
+    fn new() -> Self {
+        SimState {
+            now: SimTime::ZERO,
+            seq: 0,
+            timed: BinaryHeap::new(),
+            runnable: VecDeque::new(),
+            procs: Vec::new(),
+            events: Vec::new(),
+            pending_delta: Vec::new(),
+            pending_updates: Vec::new(),
+            pending_spawns: Vec::new(),
+            ended: false,
+            deltas_total: 0,
+            deltas_this_step: 0,
+        }
+    }
+
+    fn push_timed(&mut self, time: SimTime, wake: Wake) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.timed.push(Reverse(TimedEntry { time, seq, wake }));
+    }
+
+    pub(crate) fn new_event(&mut self, name: &str) -> EventId {
+        let id = EventId(self.events.len());
+        self.events.push(EventRec {
+            name: name.to_string(),
+            waiters: Vec::new(),
+        });
+        id
+    }
+
+    /// Registers the calling process as waiting on `eid`.
+    pub(crate) fn register_waiter(&mut self, pid: ProcId, gen: u64, eid: EventId) {
+        self.events[eid.0].waiters.push((pid, gen));
+        self.procs[pid.0].registered.push(eid);
+    }
+
+    /// Marks a process as blocked and returns the fresh wait generation.
+    pub(crate) fn begin_wait(&mut self, pid: ProcId) -> u64 {
+        let p = &mut self.procs[pid.0];
+        p.wait_gen += 1;
+        p.status = ProcStatus::Waiting;
+        p.wake_reason = None;
+        p.wait_gen
+    }
+
+    /// Schedules a timed wakeup for a blocked process.
+    pub(crate) fn schedule_proc(&mut self, pid: ProcId, gen: u64, at: SimTime) {
+        self.push_timed(at, Wake::Proc(pid, gen));
+    }
+
+    /// Schedules a timed notification of an event.
+    pub(crate) fn schedule_event(&mut self, eid: EventId, at: SimTime) {
+        self.push_timed(at, Wake::Event(eid));
+    }
+
+    /// Queues a delta notification of an event.
+    pub(crate) fn notify_delta(&mut self, eid: EventId) {
+        self.pending_delta.push(eid);
+    }
+
+    /// Immediately wakes all current waiters of `eid`.
+    pub(crate) fn fire_event(&mut self, eid: EventId) {
+        let waiters = std::mem::take(&mut self.events[eid.0].waiters);
+        for (pid, gen) in waiters {
+            self.wake_proc(pid, gen, Some(eid));
+        }
+    }
+
+    fn wake_proc(&mut self, pid: ProcId, gen: u64, reason: Option<EventId>) {
+        let p = &mut self.procs[pid.0];
+        if p.status != ProcStatus::Waiting || p.wait_gen != gen {
+            return; // stale wakeup
+        }
+        p.status = ProcStatus::Runnable;
+        p.wake_reason = reason;
+        // Drop stale registrations on the other events of a `wait_any`.
+        let registered = std::mem::take(&mut p.registered);
+        for eid in registered {
+            self.events[eid.0]
+                .waiters
+                .retain(|&(wp, wg)| !(wp == pid && wg == gen));
+        }
+        self.runnable.push_back(pid);
+    }
+
+    pub(crate) fn register_update(&mut self, hook: Arc<dyn UpdateHook>) {
+        self.pending_updates.push(hook);
+    }
+
+    pub(crate) fn queue_spawn(&mut self, name: String, body: ProcessFn) {
+        self.pending_spawns.push(PendingSpawn { name, body });
+    }
+
+    pub(crate) fn wake_reason(&self, pid: ProcId) -> Option<EventId> {
+        self.procs[pid.0].wake_reason
+    }
+}
+
+/// State shared between the kernel and every process context.
+pub(crate) struct Shared {
+    pub(crate) state: Mutex<SimState>,
+}
+
+impl Shared {
+    pub(crate) fn event_name(&self, id: EventId) -> String {
+        self.state.lock().events[id.0].name.clone()
+    }
+}
+
+struct ProcSlot {
+    resume_tx: Sender<Resume>,
+    yield_rx: Receiver<YieldMsg>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Summary returned by a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Simulated time at which the run stopped.
+    pub end_time: SimTime,
+    /// Total number of delta cycles executed.
+    pub delta_cycles: u64,
+    /// Number of processes whose bodies returned.
+    pub finished: usize,
+    /// Names of the processes still blocked when the run stopped.
+    pub blocked: Vec<String>,
+}
+
+impl SimReport {
+    /// Errors if any process is still blocked — i.e. the model quiesced
+    /// without every process reaching the end of its body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] listing the blocked process names.
+    pub fn expect_all_finished(&self) -> SimResult<()> {
+        if self.blocked.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::Deadlock {
+                blocked: self.blocked.clone(),
+            })
+        }
+    }
+}
+
+/// A discrete-event simulation: a set of processes, events and primitives
+/// plus the scheduler that drives them.
+///
+/// See the [crate-level documentation](crate) for an example.
+pub struct Simulation {
+    shared: Arc<Shared>,
+    slots: Vec<ProcSlot>,
+    max_deltas_per_step: u64,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation.
+    pub fn new() -> Self {
+        Simulation {
+            shared: Arc::new(Shared {
+                state: Mutex::new(SimState::new()),
+            }),
+            slots: Vec::new(),
+            max_deltas_per_step: 1_000_000,
+        }
+    }
+
+    /// Caps runaway delta loops; exceeding the cap at a single time step
+    /// aborts the run with a model error. Defaults to one million.
+    pub fn set_max_deltas_per_step(&mut self, max: u64) {
+        self.max_deltas_per_step = max;
+    }
+
+    /// Creates a named event.
+    pub fn event(&mut self, name: &str) -> Event {
+        let id = self.shared.state.lock().new_event(name);
+        Event {
+            id,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Registers a process; it becomes runnable at time zero.
+    ///
+    /// The body receives the process's [`Context`] and should propagate
+    /// [`SimError::Terminated`] from wait operations with `?`.
+    pub fn spawn_process<F>(&mut self, name: &str, body: F) -> ProcId
+    where
+        F: FnOnce(&Context) -> SimResult<()> + Send + 'static,
+    {
+        self.spawn_slot(name.to_string(), Box::new(body))
+    }
+
+    fn spawn_slot(&mut self, name: String, body: ProcessFn) -> ProcId {
+        let pid = ProcId(self.slots.len());
+        let name_arc: Arc<str> = Arc::from(name.as_str());
+        {
+            let mut st = self.shared.state.lock();
+            debug_assert_eq!(st.procs.len(), pid.0);
+            st.procs.push(ProcRec {
+                name: Arc::clone(&name_arc),
+                status: ProcStatus::Runnable,
+                wait_gen: 0,
+                wake_reason: None,
+                registered: Vec::new(),
+            });
+            st.runnable.push_back(pid);
+        }
+        let (resume_tx, resume_rx) = bounded::<Resume>(1);
+        let (yield_tx, yield_rx) = bounded::<YieldMsg>(1);
+        let ctx = Context::new(
+            pid,
+            Arc::clone(&name_arc),
+            Arc::clone(&self.shared),
+            resume_rx,
+            yield_tx.clone(),
+        );
+        let thread_name = format!("sim:{name}");
+        let join = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                // Wait for the kernel to hand us the first time slice.
+                match ctx.recv_resume() {
+                    Ok(Resume::Go) => {
+                        let pname = ctx.name().to_string();
+                        let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+                        let msg = match result {
+                            Ok(r) => YieldMsg::Finished(r),
+                            Err(payload) => YieldMsg::Finished(Err(SimError::ProcessPanic {
+                                process: pname,
+                                message: panic_message(payload),
+                            })),
+                        };
+                        let _ = yield_tx.send(msg);
+                    }
+                    Ok(Resume::Terminate) | Err(_) => {
+                        let _ = yield_tx.send(YieldMsg::Finished(Ok(())));
+                    }
+                }
+            })
+            .expect("spawn simulation process thread");
+        self.slots.push(ProcSlot {
+            resume_tx,
+            yield_rx,
+            join: Some(join),
+        });
+        pid
+    }
+
+    /// Runs until no activity remains. See [`Simulation::run_limit`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first process panic or model error.
+    pub fn run(&mut self) -> SimResult<SimReport> {
+        self.run_limit(RunLimit::Exhausted)
+    }
+
+    /// Runs until simulated time would pass `t`. The simulation can be
+    /// resumed by calling a run method again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first process panic or model error.
+    pub fn run_until(&mut self, t: SimTime) -> SimResult<SimReport> {
+        self.run_limit(RunLimit::Until(t))
+    }
+
+    /// Drives the scheduler: evaluation phase (run every runnable process to
+    /// its next wait), update phase (apply signal writes), delta-notification
+    /// phase, then time advance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first process panic or model error.
+    pub fn run_limit(&mut self, limit: RunLimit) -> SimResult<SimReport> {
+        loop {
+            // Evaluation phase.
+            loop {
+                let next = {
+                    let mut st = self.shared.state.lock();
+                    st.runnable.pop_front()
+                };
+                let Some(pid) = next else { break };
+                {
+                    let st = self.shared.state.lock();
+                    if st.procs[pid.0].status != ProcStatus::Runnable {
+                        continue;
+                    }
+                }
+                self.resume(pid)?;
+            }
+
+            // Update phase.
+            let hooks = {
+                let mut st = self.shared.state.lock();
+                std::mem::take(&mut st.pending_updates)
+            };
+            let mut changed = Vec::new();
+            for hook in hooks {
+                if let Some(eid) = hook.apply() {
+                    changed.push(eid);
+                }
+            }
+
+            // Delta-notification phase.
+            {
+                let mut st = self.shared.state.lock();
+                let mut pending = std::mem::take(&mut st.pending_delta);
+                pending.extend(changed);
+                for eid in pending {
+                    st.fire_event(eid);
+                }
+                if !st.runnable.is_empty() {
+                    st.deltas_total += 1;
+                    st.deltas_this_step += 1;
+                    if st.deltas_this_step > self.max_deltas_per_step {
+                        return Err(SimError::model(format!(
+                            "delta-cycle overflow at {} (> {} deltas in one step)",
+                            st.now, self.max_deltas_per_step
+                        )));
+                    }
+                    continue;
+                }
+            }
+
+            // Timed phase.
+            let advanced = {
+                let mut st = self.shared.state.lock();
+                match st.timed.peek() {
+                    None => false,
+                    Some(Reverse(head)) => {
+                        let t = head.time;
+                        if let RunLimit::Until(stop) = limit {
+                            if t > stop {
+                                st.now = stop;
+                                false
+                            } else {
+                                Self::advance_to(&mut st, t);
+                                true
+                            }
+                        } else {
+                            Self::advance_to(&mut st, t);
+                            true
+                        }
+                    }
+                }
+            };
+            if !advanced {
+                break;
+            }
+        }
+        Ok(self.report())
+    }
+
+    fn advance_to(st: &mut SimState, t: SimTime) {
+        st.now = t;
+        st.deltas_this_step = 0;
+        while let Some(Reverse(head)) = st.timed.peek() {
+            if head.time != t {
+                break;
+            }
+            let Reverse(entry) = st.timed.pop().expect("peeked entry");
+            match entry.wake {
+                Wake::Proc(pid, gen) => st.wake_proc(pid, gen, None),
+                Wake::Event(eid) => st.fire_event(eid),
+            }
+        }
+    }
+
+    fn resume(&mut self, pid: ProcId) -> SimResult<()> {
+        let slot = &self.slots[pid.0];
+        slot.resume_tx
+            .send(Resume::Go)
+            .expect("process thread receiving");
+        let msg = slot
+            .yield_rx
+            .recv()
+            .expect("process thread yields or finishes");
+        match msg {
+            YieldMsg::Waiting => {}
+            YieldMsg::Finished(result) => {
+                {
+                    let mut st = self.shared.state.lock();
+                    st.procs[pid.0].status = ProcStatus::Finished;
+                }
+                if let Some(handle) = self.slots[pid.0].join.take() {
+                    let _ = handle.join();
+                }
+                match result {
+                    Ok(()) | Err(SimError::Terminated) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        // Materialise processes spawned by the step we just ran.
+        let spawns = {
+            let mut st = self.shared.state.lock();
+            std::mem::take(&mut st.pending_spawns)
+        };
+        for s in spawns {
+            self.spawn_slot(s.name, s.body);
+        }
+        Ok(())
+    }
+
+    fn report(&self) -> SimReport {
+        let st = self.shared.state.lock();
+        let mut finished = 0;
+        let mut blocked = Vec::new();
+        for p in &st.procs {
+            match p.status {
+                ProcStatus::Finished => finished += 1,
+                ProcStatus::Waiting | ProcStatus::Runnable => {
+                    blocked.push(p.name.to_string());
+                }
+            }
+        }
+        SimReport {
+            end_time: st.now,
+            delta_cycles: st.deltas_total,
+            finished,
+            blocked,
+        }
+    }
+
+    /// Current simulated time (between runs).
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().now
+    }
+
+    fn terminate_all(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.ended = true;
+        }
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            let finished = {
+                let st = self.shared.state.lock();
+                st.procs[idx].status == ProcStatus::Finished
+            };
+            if finished {
+                continue;
+            }
+            // Nudge the blocked process until its body unwinds.
+            loop {
+                if slot.resume_tx.send(Resume::Terminate).is_err() {
+                    break;
+                }
+                match slot.yield_rx.recv() {
+                    Ok(YieldMsg::Finished(_)) | Err(_) => break,
+                    Ok(YieldMsg::Waiting) => continue,
+                }
+            }
+            if let Some(handle) = slot.join.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        self.terminate_all();
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_simulation_finishes_at_zero() {
+        let mut sim = Simulation::new();
+        let report = sim.run().expect("run");
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.finished, 0);
+        assert!(report.blocked.is_empty());
+    }
+
+    #[test]
+    fn single_process_advances_time() {
+        let mut sim = Simulation::new();
+        sim.spawn_process("p", |ctx| {
+            ctx.wait(SimTime::ns(5))?;
+            ctx.wait(SimTime::ns(7))?;
+            assert_eq!(ctx.now(), SimTime::ns(12));
+            Ok(())
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.end_time, SimTime::ns(12));
+        assert_eq!(report.finished, 1);
+    }
+
+    #[test]
+    fn processes_interleave_deterministically() {
+        use std::sync::{Arc, Mutex};
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for i in 0..3u32 {
+            let log = Arc::clone(&log);
+            sim.spawn_process(&format!("p{i}"), move |ctx| {
+                for step in 0..2u32 {
+                    log.lock().unwrap().push((i, step, ctx.now()));
+                    ctx.wait(SimTime::ns(10))?;
+                }
+                Ok(())
+            });
+        }
+        sim.run().expect("run");
+        let log = log.lock().unwrap().clone();
+        // Registration order at t=0, then the same order at t=10ns.
+        let expected: Vec<(u32, u32, SimTime)> = vec![
+            (0, 0, SimTime::ZERO),
+            (1, 0, SimTime::ZERO),
+            (2, 0, SimTime::ZERO),
+            (0, 1, SimTime::ns(10)),
+            (1, 1, SimTime::ns(10)),
+            (2, 1, SimTime::ns(10)),
+        ];
+        assert_eq!(log, expected);
+    }
+
+    #[test]
+    fn delta_notification_wakes_in_same_time() {
+        let mut sim = Simulation::new();
+        let ev = sim.event("e");
+        let ev2 = ev.clone();
+        sim.spawn_process("notifier", move |ctx| {
+            ctx.wait(SimTime::ns(3))?;
+            ctx.notify(&ev2);
+            Ok(())
+        });
+        sim.spawn_process("waiter", move |ctx| {
+            ctx.wait_event(&ev)?;
+            assert_eq!(ctx.now(), SimTime::ns(3));
+            Ok(())
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.finished, 2);
+        assert!(report.blocked.is_empty());
+    }
+
+    #[test]
+    fn timed_notification() {
+        let mut sim = Simulation::new();
+        let ev = sim.event("e");
+        let ev2 = ev.clone();
+        sim.spawn_process("notifier", move |ctx| {
+            ctx.notify_after(&ev2, SimTime::us(2));
+            Ok(())
+        });
+        sim.spawn_process("waiter", move |ctx| {
+            ctx.wait_event(&ev)?;
+            assert_eq!(ctx.now(), SimTime::us(2));
+            Ok(())
+        });
+        assert_eq!(sim.run().expect("run").end_time, SimTime::us(2));
+    }
+
+    #[test]
+    fn blocked_process_is_reported() {
+        let mut sim = Simulation::new();
+        let ev = sim.event("never");
+        sim.spawn_process("stuck", move |ctx| {
+            ctx.wait_event(&ev)?;
+            Ok(())
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.blocked, vec!["stuck".to_string()]);
+        assert!(report.expect_all_finished().is_err());
+    }
+
+    #[test]
+    fn process_panic_is_reported_as_error() {
+        let mut sim = Simulation::new();
+        sim.spawn_process("bad", |_ctx| panic!("exploded"));
+        let err = sim.run().expect_err("panic surfaces");
+        match err {
+            SimError::ProcessPanic { process, message } => {
+                assert_eq!(process, "bad");
+                assert!(message.contains("exploded"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes() {
+        let mut sim = Simulation::new();
+        sim.spawn_process("p", |ctx| {
+            ctx.wait(SimTime::ns(100))?;
+            Ok(())
+        });
+        let r1 = sim.run_until(SimTime::ns(40)).expect("first leg");
+        assert_eq!(r1.end_time, SimTime::ns(40));
+        assert_eq!(r1.finished, 0);
+        let r2 = sim.run().expect("second leg");
+        assert_eq!(r2.end_time, SimTime::ns(100));
+        assert_eq!(r2.finished, 1);
+    }
+
+    #[test]
+    fn dynamic_spawn_runs_same_time() {
+        let mut sim = Simulation::new();
+        sim.spawn_process("parent", |ctx| {
+            ctx.wait(SimTime::ns(10))?;
+            let start = ctx.now();
+            ctx.spawn("child", move |c| {
+                assert_eq!(c.now(), start);
+                c.wait(SimTime::ns(5))?;
+                Ok(())
+            });
+            Ok(())
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.end_time, SimTime::ns(15));
+        assert_eq!(report.finished, 2);
+    }
+
+    #[test]
+    fn wait_any_returns_winning_event() {
+        let mut sim = Simulation::new();
+        let a = sim.event("a");
+        let b = sim.event("b");
+        let b2 = b.clone();
+        sim.spawn_process("notifier", move |ctx| {
+            ctx.notify_after(&b2, SimTime::ns(4));
+            Ok(())
+        });
+        let a2 = a.clone();
+        sim.spawn_process("waiter", move |ctx| {
+            let winner = ctx.wait_any(&[&a2, &b])?;
+            assert_eq!(winner, b.id());
+            Ok(())
+        });
+        sim.run().expect("run").expect_all_finished().expect("all done");
+        drop(a);
+    }
+
+    #[test]
+    fn wait_event_timeout_expires() {
+        let mut sim = Simulation::new();
+        let ev = sim.event("late");
+        sim.spawn_process("waiter", move |ctx| {
+            let fired = ctx.wait_event_timeout(&ev, SimTime::ns(20))?;
+            assert!(!fired);
+            assert_eq!(ctx.now(), SimTime::ns(20));
+            Ok(())
+        });
+        sim.run().expect("run");
+    }
+
+    #[test]
+    fn wait_event_timeout_fires() {
+        let mut sim = Simulation::new();
+        let ev = sim.event("soon");
+        let ev2 = ev.clone();
+        sim.spawn_process("notifier", move |ctx| {
+            ctx.notify_after(&ev2, SimTime::ns(5));
+            Ok(())
+        });
+        sim.spawn_process("waiter", move |ctx| {
+            let fired = ctx.wait_event_timeout(&ev, SimTime::ns(20))?;
+            assert!(fired);
+            assert_eq!(ctx.now(), SimTime::ns(5));
+            Ok(())
+        });
+        sim.run().expect("run");
+    }
+
+    #[test]
+    fn drop_terminates_blocked_processes() {
+        let mut sim = Simulation::new();
+        let ev = sim.event("never");
+        sim.spawn_process("stuck", move |ctx| {
+            ctx.wait_event(&ev)?;
+            Ok(())
+        });
+        sim.run_until(SimTime::ns(1)).expect("partial run");
+        drop(sim); // must not hang or leak the thread
+    }
+
+    #[test]
+    fn delta_overflow_detected() {
+        let mut sim = Simulation::new();
+        sim.set_max_deltas_per_step(100);
+        let a = sim.event("a");
+        let b = sim.event("b");
+        let (a2, b2) = (a.clone(), b.clone());
+        sim.spawn_process("ping", move |ctx| loop {
+            ctx.notify(&a2);
+            ctx.wait_event(&b2)?;
+        });
+        sim.spawn_process("pong", move |ctx| loop {
+            ctx.wait_event(&a)?;
+            ctx.notify(&b);
+        });
+        let err = sim.run().expect_err("delta loop detected");
+        assert!(matches!(err, SimError::Model(_)));
+    }
+
+    #[test]
+    fn notify_now_wakes_in_current_eval() {
+        let mut sim = Simulation::new();
+        let ev = sim.event("e");
+        let ev2 = ev.clone();
+        sim.spawn_process("waiter", move |ctx| {
+            ctx.wait_event(&ev2)?;
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            Ok(())
+        });
+        sim.spawn_process("notifier", move |ctx| {
+            ctx.notify_now(&ev);
+            Ok(())
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.finished, 2);
+    }
+
+    #[test]
+    fn many_processes_scale() {
+        let mut sim = Simulation::new();
+        for i in 0..64 {
+            sim.spawn_process(&format!("w{i}"), move |ctx| {
+                for _ in 0..10 {
+                    ctx.wait(SimTime::ns(1 + i as u64))?;
+                }
+                Ok(())
+            });
+        }
+        let report = sim.run().expect("run");
+        assert_eq!(report.finished, 64);
+        assert_eq!(report.end_time, SimTime::ns(640));
+    }
+}

@@ -1,0 +1,54 @@
+//! # osss-sim — a deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate the OSSS methodology runs on. It plays the
+//! role the OSCI SystemC kernel plays for the original OSSS library:
+//! cooperative processes, events with delta/timed notification, signals
+//! with update semantics, and blocking primitives (FIFOs, mutexes,
+//! semaphores) — all with a deterministic scheduling order.
+//!
+//! Processes are OS threads driven **cooperatively**: exactly one process
+//! runs at any instant, and control returns to the scheduler whenever a
+//! process calls one of the [`Context`] wait operations. This gives the
+//! blocking-method-call semantics OSSS shared objects require without any
+//! data races (the kernel and the running process strictly alternate).
+//!
+//! ## Example
+//!
+//! ```
+//! use osss_sim::{Simulation, SimTime};
+//!
+//! # fn main() -> Result<(), osss_sim::SimError> {
+//! let mut sim = Simulation::new();
+//! let ping = sim.event("ping");
+//!
+//! let ping2 = ping.clone();
+//! sim.spawn_process("producer", move |ctx| {
+//!     ctx.wait(SimTime::ns(10))?;
+//!     ctx.notify(&ping2);
+//!     Ok(())
+//! });
+//! sim.spawn_process("consumer", move |ctx| {
+//!     ctx.wait_event(&ping)?;
+//!     assert_eq!(ctx.now(), SimTime::ns(10));
+//!     Ok(())
+//! });
+//!
+//! let report = sim.run()?;
+//! assert_eq!(report.end_time, SimTime::ns(10));
+//! # Ok(())
+//! # }
+//! ```
+
+mod context;
+mod error;
+mod event;
+mod kernel;
+pub mod prim;
+pub mod trace;
+mod time;
+
+pub use context::Context;
+pub use error::{SimError, SimResult};
+pub use event::{Event, EventId};
+pub use kernel::{ProcId, RunLimit, SimReport, Simulation};
+pub use time::{Frequency, SimTime};

@@ -1,0 +1,14 @@
+//! Modelling primitives built on the kernel: signals with SystemC update
+//! semantics, bounded blocking FIFOs, simulation mutexes and semaphores.
+
+mod clock;
+mod fifo;
+mod mutex;
+mod semaphore;
+mod signal;
+
+pub use clock::Clock;
+pub use fifo::Fifo;
+pub use mutex::SimMutex;
+pub use semaphore::Semaphore;
+pub use signal::Signal;

@@ -1,0 +1,217 @@
+//! Lightweight value-change tracing for debugging models.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::context::Context;
+use crate::time::SimTime;
+
+/// One recorded value change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time of the change.
+    pub time: SimTime,
+    /// Name of the traced quantity.
+    pub name: String,
+    /// Rendered value.
+    pub value: String,
+}
+
+/// Records `(time, name, value)` triples during simulation and renders them
+/// as a simple value-change dump.
+///
+/// # Example
+///
+/// ```
+/// use osss_sim::{Simulation, SimTime};
+/// use osss_sim::trace::Tracer;
+///
+/// # fn main() -> Result<(), osss_sim::SimError> {
+/// let tracer = Tracer::new();
+/// let mut sim = Simulation::new();
+/// let t = tracer.clone();
+/// sim.spawn_process("p", move |ctx| {
+///     t.record(ctx, "state", "DECODE");
+///     ctx.wait(SimTime::ns(10))?;
+///     t.record(ctx, "state", "IDWT");
+///     Ok(())
+/// });
+/// sim.run()?;
+/// assert_eq!(tracer.len(), 2);
+/// assert!(tracer.to_text().contains("IDWT"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    records: Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record at the current simulation time.
+    pub fn record(&self, ctx: &Context, name: &str, value: impl ToString) {
+        self.records.lock().push(TraceRecord {
+            time: ctx.now(),
+            name: name.to_string(),
+            value: value.to_string(),
+        });
+    }
+
+    /// Number of records captured so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether no records were captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of all records.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Renders the dump as `time  name = value` lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for r in self.records.lock().iter() {
+            let _ = writeln!(out, "{:>14}  {} = {}", r.time.to_string(), r.name, r.value);
+        }
+        out
+    }
+
+    /// Renders the dump as a VCD (value change dump) file that standard
+    /// waveform viewers (GTKWave etc.) open directly. Numeric values
+    /// become binary vector changes; everything else becomes string
+    /// changes.
+    pub fn to_vcd(&self) -> String {
+        let records = self.records.lock();
+        // Stable identifier per traced name, in first-appearance order.
+        let mut names: Vec<&str> = Vec::new();
+        for r in records.iter() {
+            if !names.contains(&r.name.as_str()) {
+                names.push(&r.name);
+            }
+        }
+        let ident = |idx: usize| -> String {
+            // VCD identifiers: printable ASCII starting at '!'.
+            let mut id = String::new();
+            let mut n = idx;
+            loop {
+                id.push((b'!' + (n % 94) as u8) as char);
+                n /= 94;
+                if n == 0 {
+                    break;
+                }
+            }
+            id
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale 1ps $end");
+        let _ = writeln!(out, "$scope module trace $end");
+        for (i, name) in names.iter().enumerate() {
+            let _ = writeln!(out, "$var wire 64 {} {} $end", ident(i), name);
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        let mut last_time: Option<SimTime> = None;
+        for r in records.iter() {
+            if last_time != Some(r.time) {
+                let _ = writeln!(out, "#{}", r.time.as_ps());
+                last_time = Some(r.time);
+            }
+            let idx = names.iter().position(|n| *n == r.name).expect("collected");
+            match r.value.parse::<i64>() {
+                Ok(v) => {
+                    let _ = writeln!(out, "b{:b} {}", v.unsigned_abs(), ident(idx));
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "s{} {}", r.value.replace(' ', "_"), ident(idx));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Simulation;
+
+    #[test]
+    fn records_are_ordered_by_time() {
+        let tracer = Tracer::new();
+        let mut sim = Simulation::new();
+        let t = tracer.clone();
+        sim.spawn_process("p", move |ctx| {
+            t.record(ctx, "x", 1);
+            ctx.wait(SimTime::ns(5))?;
+            t.record(ctx, "x", 2);
+            Ok(())
+        });
+        sim.run().expect("run");
+        let recs = tracer.records();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].time < recs[1].time);
+        assert_eq!(recs[1].value, "2");
+    }
+
+    #[test]
+    fn empty_tracer() {
+        let tracer = Tracer::new();
+        assert!(tracer.is_empty());
+        assert_eq!(tracer.to_text(), "");
+    }
+
+    #[test]
+    fn vcd_output_has_header_vars_and_changes() {
+        let tracer = Tracer::new();
+        let mut sim = Simulation::new();
+        let t = tracer.clone();
+        sim.spawn_process("p", move |ctx| {
+            t.record(ctx, "count", 1);
+            t.record(ctx, "state", "DECODE");
+            ctx.wait(SimTime::ns(3))?;
+            t.record(ctx, "count", 2);
+            Ok(())
+        });
+        sim.run().expect("run");
+        let vcd = tracer.to_vcd();
+        assert!(vcd.starts_with("$timescale 1ps $end"));
+        assert!(vcd.contains("$var wire 64 ! count $end"));
+        assert!(vcd.contains("$var wire 64 \" state $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("#0\n"));
+        assert!(vcd.contains("#3000\n"), "3 ns = 3000 ps");
+        assert!(vcd.contains("b1 !"));
+        assert!(vcd.contains("b10 !"), "2 in binary");
+        assert!(vcd.contains("sDECODE \""));
+    }
+
+    #[test]
+    fn vcd_timestamps_are_not_repeated() {
+        let tracer = Tracer::new();
+        let mut sim = Simulation::new();
+        let t = tracer.clone();
+        sim.spawn_process("p", move |ctx| {
+            t.record(ctx, "a", 1);
+            t.record(ctx, "b", 2); // same instant: one #0 line
+            ctx.wait(SimTime::ns(1))?;
+            t.record(ctx, "a", 3);
+            Ok(())
+        });
+        sim.run().expect("run");
+        let vcd = tracer.to_vcd();
+        assert_eq!(vcd.matches("#0\n").count(), 1);
+        assert_eq!(vcd.matches("#1000\n").count(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! The OSSS Channel abstraction: anything that can carry serialised words.
+
+use osss_sim::{Context, SimResult, SimTime};
+
+/// Aggregate statistics of one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Completed transfers.
+    pub transfers: u64,
+    /// Total words moved.
+    pub words: u64,
+    /// Time the channel spent actively transferring.
+    pub busy: SimTime,
+    /// Time clients spent waiting for channel arbitration.
+    pub arbitration_wait: SimTime,
+}
+
+/// A physical communication resource of the Virtual Target Architecture.
+///
+/// The RMI layer ([`crate::RmiService`]) is written against this trait,
+/// which is the paper's key refinement property: swapping the shared OPB
+/// bus for point-to-point links (models 6a → 6b, 7a → 7b) changes only
+/// the channel object, never the behavioural code.
+pub trait Channel: Send + Sync {
+    /// Moves `words` 32-bit words across the channel on behalf of the
+    /// calling process, blocking through arbitration and transfer time.
+    ///
+    /// `priority` is honoured by priority-arbitrated channels and ignored
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`osss_sim::SimError::Terminated`] when the simulation is shutting
+    /// down.
+    fn transfer(&self, ctx: &Context, words: usize, priority: u32) -> SimResult<()>;
+
+    /// The channel's name (for reports).
+    fn name(&self) -> String;
+
+    /// Statistics snapshot.
+    fn stats(&self) -> ChannelStats;
+}

@@ -1,0 +1,299 @@
+//! Explicit memories: Xilinx block RAM and a multi-channel DDR controller.
+//!
+//! On the Application Layer, shared-object data members behave like
+//! registers (zero access time). The VTA refinement step maps large
+//! arrays into explicit memories — in the case study an
+//! `xilinx_block_ram<osss_array<short>, 32, 16>` — which both bounds FPGA
+//! slice usage and adds per-access cycles. That added latency is the main
+//! source of the IDWT-time inflation between models 3 and 6a in Table 1.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use osss_core::{sched::Fcfs, SharedObject};
+use osss_sim::{Context, Frequency, SimResult, SimTime, Simulation};
+
+/// Access statistics of a memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Word reads served.
+    pub reads: u64,
+    /// Word writes served.
+    pub writes: u64,
+    /// Total time spent in memory accesses.
+    pub access_time: SimTime,
+}
+
+struct BramInner<T> {
+    name: String,
+    freq: Frequency,
+    read_cycles: u64,
+    write_cycles: u64,
+    data: Mutex<Vec<T>>,
+    stats: Mutex<MemStats>,
+}
+
+/// A synchronous block RAM holding `T` words: single-cycle-class access
+/// latency, charged per access (or in bulk for burst loops, which keeps
+/// event counts tractable without changing total time).
+///
+/// # Example
+///
+/// ```
+/// use osss_sim::{Simulation, SimTime, Frequency};
+/// use osss_vta::XilinxBlockRam;
+///
+/// # fn main() -> Result<(), osss_sim::SimError> {
+/// let mut sim = Simulation::new();
+/// let ram = XilinxBlockRam::<i16>::new(&mut sim, "tile_ram", 1024, Frequency::mhz(100));
+/// let ram2 = ram.clone();
+/// sim.spawn_process("hw", move |ctx| {
+///     ram2.write(ctx, 5, -42)?;
+///     assert_eq!(ram2.read(ctx, 5)?, -42);
+///     Ok(())
+/// });
+/// // One write + one read at one cycle each.
+/// assert_eq!(sim.run()?.end_time, SimTime::ns(20));
+/// # Ok(())
+/// # }
+/// ```
+pub struct XilinxBlockRam<T> {
+    inner: Arc<BramInner<T>>,
+}
+
+impl<T> Clone for XilinxBlockRam<T> {
+    fn clone(&self) -> Self {
+        XilinxBlockRam {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Copy + Default + Send + 'static> XilinxBlockRam<T> {
+    /// Creates a zero-initialised RAM of `words` entries with one-cycle
+    /// read and write latency.
+    pub fn new(sim: &mut Simulation, name: &str, words: usize, freq: Frequency) -> Self {
+        let _ = sim; // signature symmetry with the other resources
+        XilinxBlockRam {
+            inner: Arc::new(BramInner {
+                name: name.to_string(),
+                freq,
+                read_cycles: 1,
+                write_cycles: 1,
+                data: Mutex::new(vec![T::default(); words]),
+                stats: Mutex::new(MemStats::default()),
+            }),
+        }
+    }
+
+    /// The memory name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Capacity in words.
+    pub fn words(&self) -> usize {
+        self.inner.data.lock().len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> MemStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Reads one word, charging the read latency.
+    ///
+    /// # Errors
+    ///
+    /// [`osss_sim::SimError::Terminated`] on shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&self, ctx: &Context, addr: usize) -> SimResult<T> {
+        let t = self.inner.freq.cycles(self.inner.read_cycles);
+        ctx.wait(t)?;
+        let mut stats = self.inner.stats.lock();
+        stats.reads += 1;
+        stats.access_time += t;
+        drop(stats);
+        Ok(self.inner.data.lock()[addr])
+    }
+
+    /// Writes one word, charging the write latency.
+    ///
+    /// # Errors
+    ///
+    /// [`osss_sim::SimError::Terminated`] on shutdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write(&self, ctx: &Context, addr: usize, value: T) -> SimResult<()> {
+        let t = self.inner.freq.cycles(self.inner.write_cycles);
+        ctx.wait(t)?;
+        let mut stats = self.inner.stats.lock();
+        stats.writes += 1;
+        stats.access_time += t;
+        drop(stats);
+        self.inner.data.lock()[addr] = value;
+        Ok(())
+    }
+
+    /// Bulk accounting for a burst of `reads` + `writes` accesses done by
+    /// a tight hardware loop: charges the exact cycle cost in one wait
+    /// instead of one event per access.
+    ///
+    /// # Errors
+    ///
+    /// [`osss_sim::SimError::Terminated`] on shutdown.
+    pub fn charge_burst(&self, ctx: &Context, reads: u64, writes: u64) -> SimResult<()> {
+        let t = self
+            .inner
+            .freq
+            .cycles(reads * self.inner.read_cycles + writes * self.inner.write_cycles);
+        ctx.wait(t)?;
+        let mut stats = self.inner.stats.lock();
+        stats.reads += reads;
+        stats.writes += writes;
+        stats.access_time += t;
+        Ok(())
+    }
+
+    /// Direct (zero-time) access to the backing store, for loading test
+    /// data and checking results outside the timed path.
+    pub fn with_data<R>(&self, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        f(&mut self.inner.data.lock())
+    }
+}
+
+/// A multi-channel DDR controller: each channel issues burst transfers;
+/// all channels arbitrate for the single DRAM device.
+///
+/// Models the case study's MCH DDR controller that feeds the PowerPC and
+/// the HW subsystem from one external RAM.
+#[derive(Debug, Clone)]
+pub struct DdrController {
+    device: SharedObject<()>,
+    freq: Frequency,
+    /// Cycles to open a row / set up a burst.
+    setup_cycles: u64,
+    /// Words per burst beat group.
+    burst_words: u64,
+    /// Cycles per burst.
+    burst_cycles: u64,
+}
+
+impl DdrController {
+    /// Creates a controller with case-study-like timing: 100 MHz, 10-cycle
+    /// setup, 8-word bursts at 4 cycles each.
+    pub fn new(sim: &mut Simulation, name: &str, freq: Frequency) -> Self {
+        DdrController {
+            device: SharedObject::new(sim, name, (), Fcfs::new()),
+            freq,
+            setup_cycles: 10,
+            burst_words: 8,
+            burst_cycles: 4,
+        }
+    }
+
+    /// The time a `words`-word transfer occupies the device.
+    pub fn transfer_time(&self, words: usize) -> SimTime {
+        let bursts = (words as u64).div_ceil(self.burst_words).max(1);
+        self.freq
+            .cycles(self.setup_cycles + bursts * self.burst_cycles)
+    }
+
+    /// Performs a channel transfer of `words` words (read or write — the
+    /// timing model is symmetric), arbitrating against other channels.
+    ///
+    /// # Errors
+    ///
+    /// [`osss_sim::SimError::Terminated`] on shutdown.
+    pub fn transfer(&self, ctx: &Context, words: usize) -> SimResult<()> {
+        let dur = self.transfer_time(words);
+        self.device.call(ctx, |_, ctx| ctx.wait(dur))
+    }
+
+    /// Total time the device was busy.
+    pub fn busy_time(&self) -> SimTime {
+        self.device.stats().total_busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bram_read_write_latency() {
+        let mut sim = Simulation::new();
+        let ram = XilinxBlockRam::<i32>::new(&mut sim, "r", 16, Frequency::mhz(100));
+        let ram2 = ram.clone();
+        sim.spawn_process("p", move |ctx| {
+            for i in 0..4 {
+                ram2.write(ctx, i, i as i32 * 10)?;
+            }
+            for i in 0..4 {
+                assert_eq!(ram2.read(ctx, i)?, i as i32 * 10);
+            }
+            Ok(())
+        });
+        // 8 accesses at 1 cycle = 80 ns.
+        assert_eq!(sim.run().expect("run").end_time, SimTime::ns(80));
+        let s = ram.stats();
+        assert_eq!(s.reads, 4);
+        assert_eq!(s.writes, 4);
+        assert_eq!(s.access_time, SimTime::ns(80));
+    }
+
+    #[test]
+    fn burst_charging_equals_individual_accesses() {
+        let mut sim = Simulation::new();
+        let ram = XilinxBlockRam::<i16>::new(&mut sim, "r", 1024, Frequency::mhz(100));
+        let ram2 = ram.clone();
+        sim.spawn_process("p", move |ctx| ram2.charge_burst(ctx, 600, 400));
+        assert_eq!(sim.run().expect("run").end_time, SimTime::ns(10_000));
+        assert_eq!(ram.stats().reads, 600);
+        assert_eq!(ram.stats().writes, 400);
+    }
+
+    #[test]
+    fn with_data_is_untimed() {
+        let mut sim = Simulation::new();
+        let ram = XilinxBlockRam::<i32>::new(&mut sim, "r", 8, Frequency::mhz(100));
+        ram.with_data(|d| d[3] = 7);
+        let ram2 = ram.clone();
+        sim.spawn_process("p", move |ctx| {
+            assert_eq!(ram2.read(ctx, 3)?, 7);
+            Ok(())
+        });
+        sim.run().expect("run");
+    }
+
+    #[test]
+    fn ddr_channels_contend_for_device() {
+        let mut sim = Simulation::new();
+        let ddr = DdrController::new(&mut sim, "ddr", Frequency::mhz(100));
+        let per = ddr.transfer_time(64); // 10 + 8*4 = 42 cycles
+        assert_eq!(per, SimTime::ns(420));
+        for i in 0..3 {
+            let ddr = ddr.clone();
+            sim.spawn_process(&format!("ch{i}"), move |ctx| ddr.transfer(ctx, 64));
+        }
+        assert_eq!(sim.run().expect("run").end_time, per * 3);
+        assert_eq!(ddr.busy_time(), per * 3);
+    }
+
+    #[test]
+    fn ddr_burst_rounding() {
+        let mut sim = Simulation::new();
+        let ddr = DdrController::new(&mut sim, "ddr", Frequency::mhz(100));
+        // 1 word still needs one burst: 14 cycles.
+        assert_eq!(ddr.transfer_time(1), SimTime::ns(140));
+        // 9 words -> 2 bursts: 18 cycles.
+        assert_eq!(ddr.transfer_time(9), SimTime::ns(180));
+        drop(sim);
+    }
+}

@@ -1,0 +1,229 @@
+//! Declarative platform description: the input to the synthesis flow's
+//! MHS/MSS generators and the record of an architecture exploration point.
+
+/// One processor instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorDesc {
+    /// Instance name (e.g. `ppc405_0`).
+    pub name: String,
+    /// Clock in MHz.
+    pub clock_mhz: u32,
+    /// Names of the software tasks mapped onto it.
+    pub tasks: Vec<String>,
+}
+
+/// One shared bus instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusDesc {
+    /// Instance name (e.g. `opb_0`).
+    pub name: String,
+    /// Clock in MHz.
+    pub clock_mhz: u32,
+    /// Names of the masters attached to the bus.
+    pub masters: Vec<String>,
+    /// Names of the slaves attached to the bus.
+    pub slaves: Vec<String>,
+}
+
+/// One point-to-point link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct P2pDesc {
+    /// Instance name.
+    pub name: String,
+    /// Source component.
+    pub from: String,
+    /// Destination component.
+    pub to: String,
+}
+
+/// One memory instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryDesc {
+    /// Instance name (e.g. `bram_0`, `ddr_0`).
+    pub name: String,
+    /// Kind tag (`bram` or `ddr`).
+    pub kind: String,
+    /// Size in kilobytes.
+    pub size_kb: u32,
+}
+
+/// A complete Virtual Target Architecture platform: what the synthesis
+/// flow turns into MHS/MSS project files (Figure 4 of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlatformDesc {
+    /// Platform name.
+    pub name: String,
+    /// Target device (e.g. `virtex4-lx25`).
+    pub device: String,
+    /// Processors.
+    pub processors: Vec<ProcessorDesc>,
+    /// Shared buses.
+    pub buses: Vec<BusDesc>,
+    /// Point-to-point links.
+    pub p2p_links: Vec<P2pDesc>,
+    /// Memories.
+    pub memories: Vec<MemoryDesc>,
+    /// Hardware block instance names (shared objects and modules).
+    pub hw_blocks: Vec<String>,
+}
+
+impl PlatformDesc {
+    /// Starts a description for the given platform/device pair.
+    pub fn new(name: &str, device: &str) -> Self {
+        PlatformDesc {
+            name: name.to_string(),
+            device: device.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a processor with its mapped tasks.
+    pub fn processor(mut self, name: &str, clock_mhz: u32, tasks: &[&str]) -> Self {
+        self.processors.push(ProcessorDesc {
+            name: name.to_string(),
+            clock_mhz,
+            tasks: tasks.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Adds a shared bus.
+    pub fn bus(mut self, name: &str, clock_mhz: u32, masters: &[&str], slaves: &[&str]) -> Self {
+        self.buses.push(BusDesc {
+            name: name.to_string(),
+            clock_mhz,
+            masters: masters.iter().map(|s| s.to_string()).collect(),
+            slaves: slaves.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Adds a point-to-point link.
+    pub fn p2p(mut self, name: &str, from: &str, to: &str) -> Self {
+        self.p2p_links.push(P2pDesc {
+            name: name.to_string(),
+            from: from.to_string(),
+            to: to.to_string(),
+        });
+        self
+    }
+
+    /// Adds a memory.
+    pub fn memory(mut self, name: &str, kind: &str, size_kb: u32) -> Self {
+        self.memories.push(MemoryDesc {
+            name: name.to_string(),
+            kind: kind.to_string(),
+            size_kb,
+        });
+        self
+    }
+
+    /// Adds a hardware block instance.
+    pub fn hw_block(mut self, name: &str) -> Self {
+        self.hw_blocks.push(name.to_string());
+        self
+    }
+
+    /// The ML401-board platform of the case study: one processor, the OPB
+    /// bus, DDR behind a memory controller, block RAM, and the HW/SW and
+    /// IDWT hardware blocks.
+    pub fn ml401_case_study() -> Self {
+        PlatformDesc::new("jpeg2000_ml401", "virtex4-lx25")
+            .processor("ppc405_0", 100, &["arith_decoder_ict_dcshift"])
+            .bus(
+                "opb_0",
+                100,
+                &["ppc405_0"],
+                &["hwsw_shared_object", "ddr_mch_0", "bram_0"],
+            )
+            .p2p("link_idwt_params_0", "idwt2d_0", "idwt53_0")
+            .p2p("link_idwt_params_1", "idwt2d_0", "idwt97_0")
+            .memory("ddr_mch_0", "ddr", 65_536)
+            .memory("bram_0", "bram", 64)
+            .hw_block("hwsw_shared_object")
+            .hw_block("idwt2d_0")
+            .hw_block("idwt53_0")
+            .hw_block("idwt97_0")
+    }
+
+    /// Basic consistency checks: unique names, bus endpoints exist.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut names: Vec<&str> = Vec::new();
+        for n in self
+            .processors
+            .iter()
+            .map(|p| p.name.as_str())
+            .chain(self.buses.iter().map(|b| b.name.as_str()))
+            .chain(self.memories.iter().map(|m| m.name.as_str()))
+            .chain(self.hw_blocks.iter().map(|s| s.as_str()))
+        {
+            if names.contains(&n) {
+                return Err(format!("duplicate instance name `{n}`"));
+            }
+            names.push(n);
+        }
+        for bus in &self.buses {
+            for endpoint in bus.masters.iter().chain(&bus.slaves) {
+                if !names.contains(&endpoint.as_str()) {
+                    return Err(format!(
+                        "bus `{}` references unknown instance `{endpoint}`",
+                        bus.name
+                    ));
+                }
+            }
+        }
+        for link in &self.p2p_links {
+            for endpoint in [&link.from, &link.to] {
+                if !names.contains(&endpoint.as_str()) {
+                    return Err(format!(
+                        "p2p `{}` references unknown instance `{endpoint}`",
+                        link.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_platform_is_valid() {
+        let p = PlatformDesc::ml401_case_study();
+        p.validate().expect("valid platform");
+        assert_eq!(p.processors.len(), 1);
+        assert_eq!(p.buses.len(), 1);
+        assert_eq!(p.p2p_links.len(), 2);
+        assert_eq!(p.device, "virtex4-lx25");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let p = PlatformDesc::new("x", "d")
+            .processor("a", 100, &[])
+            .hw_block("a");
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn dangling_bus_endpoint_rejected() {
+        let p = PlatformDesc::new("x", "d").bus("opb", 100, &["ghost"], &[]);
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("ghost"));
+    }
+
+    #[test]
+    fn dangling_p2p_endpoint_rejected() {
+        let p = PlatformDesc::new("x", "d")
+            .hw_block("a")
+            .p2p("l", "a", "nowhere");
+        assert!(p.validate().is_err());
+    }
+}

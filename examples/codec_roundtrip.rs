@@ -1,0 +1,51 @@
+//! Codec roundtrip: encode a synthetic image on both the lossless and
+//! lossy paths, decode it, and print compression and quality figures plus
+//! the per-stage decode profile (the Figure 1 shape).
+//!
+//! Run with: `cargo run --release --example codec_roundtrip`
+
+use osss_jpeg2000::jpeg2000::codec::{decode, encode, EncodeParams, Mode};
+use osss_jpeg2000::jpeg2000::image::Image;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = 256;
+    let image = Image::synthetic_rgb(size, size, 42);
+    let raw_bytes = size * size * 3;
+    println!("Input: {size}×{size} RGB synthetic image ({raw_bytes} raw bytes)");
+    println!();
+
+    for (label, mode) in [
+        ("lossless (5/3 + RCT)", Mode::Lossless),
+        ("lossy    (9/7 + ICT)", Mode::lossy_default()),
+    ] {
+        let params = EncodeParams::new(mode).tile_size(64, 64);
+        let stream = encode(&image, &params)?;
+        let out = decode(&stream)?;
+        let psnr = image.psnr(&out.image);
+        let shares = out.timings.shares();
+        println!("{label}:");
+        println!(
+            "  {} bytes ({:.2}:1), PSNR {}",
+            stream.len(),
+            raw_bytes as f64 / stream.len() as f64,
+            if psnr.is_infinite() {
+                "exact (bit-true)".to_string()
+            } else {
+                format!("{psnr:.1} dB")
+            }
+        );
+        println!(
+            "  decode profile: entropy {:.1}%  IQ {:.1}%  IDWT {:.1}%  ICT {:.1}%  DC {:.1}%",
+            shares[0], shares[1], shares[2], shares[3], shares[4]
+        );
+        if mode == Mode::Lossless {
+            assert_eq!(out.image, image, "lossless roundtrip must be exact");
+        } else {
+            assert!(psnr > 30.0, "lossy quality unexpectedly low");
+        }
+    }
+    println!();
+    println!("The entropy decoder dominates in both modes — the property the");
+    println!("case study's hardware/software partitioning is built on.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Design-space exploration: the paper's core workflow.
+//!
+//! Runs the Application-Layer model versions (1–5), shows how each
+//! restructuring step changes the decode time, then refines the chosen
+//! structure to the VTA layer (6b) and shows what the cycle-accurate
+//! communication/memory model adds.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use osss_jpeg2000::models::{run_version, ModeSel, VersionId};
+
+fn main() {
+    let mode = ModeSel::Lossless;
+    println!("Design-space exploration, {mode} mode (16 tiles, 3 components)");
+    println!();
+    let mut baseline = None;
+    for v in [
+        VersionId::V1,
+        VersionId::V2,
+        VersionId::V3,
+        VersionId::V4,
+        VersionId::V5,
+    ] {
+        let r = run_version(v, mode).expect("simulation");
+        let dec = r.decode_time.as_ms_f64();
+        let speedup = baseline.map(|b: f64| b / dec).unwrap_or(1.0);
+        if baseline.is_none() {
+            baseline = Some(dec);
+        }
+        println!(
+            "  {:<3} {:<36} {:>9.1} ms  ×{:.2}  idwt {:>7.2} ms  [{}]",
+            v.to_string(),
+            v.description(),
+            dec,
+            speedup,
+            r.idwt_time.as_ms_f64(),
+            if r.functional_ok { "output ok" } else { "MISMATCH" }
+        );
+    }
+    println!();
+    println!("Refinement to the Virtual Target Architecture:");
+    for v in [VersionId::V6b, VersionId::V7b] {
+        let r = run_version(v, mode).expect("simulation");
+        println!(
+            "  {:<3} {:<36} {:>9.1} ms        idwt {:>7.2} ms  [{}]",
+            v.to_string(),
+            v.description(),
+            r.decode_time.as_ms_f64(),
+            r.idwt_time.as_ms_f64(),
+            if r.functional_ok { "output ok" } else { "MISMATCH" }
+        );
+    }
+    println!();
+    println!("Reading the table the way the paper does:");
+    println!("  1→2: offloading IQ+IDWT helps ~10% — the arithmetic decoder dominates.");
+    println!("  2→3: pipelining helps only marginally, for the same reason.");
+    println!("  3→4/5: parallelising the arithmetic decoder 4× is what pays off.");
+    println!("  →VTA: channel + memory refinement inflates the IDWT time ~8×,");
+    println!("        but the decode time barely moves: still software-dominated.");
+}

@@ -1,0 +1,57 @@
+//! The Figure 4 synthesis flow: generate every implementation-model
+//! artefact for the case-study platform — FOSSY VHDL for the IDWT
+//! hardware, C sources for the software tasks, and the EDK-style MHS/MSS
+//! platform files — and write them to `target/generated/`.
+//!
+//! Run with: `cargo run --example synthesize_idwt`
+
+use std::fs;
+use std::path::Path;
+
+use osss_jpeg2000::models::synth::{synthesis_flow, table2};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = Path::new("target/generated");
+    fs::create_dir_all(out_dir)?;
+
+    let artefacts = synthesis_flow();
+    let mut written = Vec::new();
+    for (name, code) in &artefacts.vhdl {
+        let path = out_dir.join(format!("{name}.vhd"));
+        fs::write(&path, code)?;
+        written.push((path, code.lines().count()));
+    }
+    for (name, code) in &artefacts.c_sources {
+        let path = out_dir.join(format!("{name}.c"));
+        fs::write(&path, code)?;
+        written.push((path, code.lines().count()));
+    }
+    let header = out_dir.join("osss_rt.h");
+    fs::write(&header, &artefacts.runtime_header)?;
+    written.push((header, artefacts.runtime_header.lines().count()));
+    let mhs = out_dir.join("jpeg2000_ml401.mhs");
+    fs::write(&mhs, &artefacts.mhs)?;
+    written.push((mhs, artefacts.mhs.lines().count()));
+    let mss = out_dir.join("jpeg2000_ml401.mss");
+    fs::write(&mss, &artefacts.mss)?;
+    written.push((mss, artefacts.mss.lines().count()));
+
+    println!("FOSSY synthesis flow — generated implementation model:");
+    for (path, lines) in &written {
+        println!("  {:<44} {:>5} lines", path.display().to_string(), lines);
+    }
+
+    println!();
+    println!("RTL synthesis estimates (Virtex-4 LX25):");
+    for row in table2() {
+        println!(
+            "  {:<8} FOSSY: {:>4} slices @ {:>5.1} MHz   reference: {:>4} slices @ {:>5.1} MHz",
+            row.design,
+            row.fossy.slices,
+            row.fossy.fmax_mhz,
+            row.reference.slices,
+            row.reference.fmax_mhz
+        );
+    }
+    Ok(())
+}

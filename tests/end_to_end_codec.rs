@@ -1,0 +1,146 @@
+//! Cross-crate integration: the full codec through the facade crate,
+//! including staged decoding (the seam the OSSS models consume) and
+//! failure injection on malformed codestreams.
+
+use osss_jpeg2000::jpeg2000::codec::{
+    decode, decode_thumbnail, encode, EncodeParams, Mode, StagedDecoder,
+};
+use osss_jpeg2000::jpeg2000::error::CodecError;
+use osss_jpeg2000::jpeg2000::image::Image;
+use osss_jpeg2000::jpeg2000::io::{read_pnm, write_pnm};
+
+#[test]
+fn lossless_roundtrips_bit_exactly_across_geometries() {
+    for &(w, h, tw, th) in &[
+        (96usize, 96usize, 32usize, 32usize),
+        (100, 60, 32, 32),
+        (65, 33, 16, 16),
+        (48, 48, 48, 48),
+    ] {
+        let img = Image::synthetic_rgb(w, h, (w + h) as u64);
+        let bytes =
+            encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(tw, th)).expect("encode");
+        let out = decode(&bytes).expect("decode");
+        assert_eq!(out.image, img, "{w}x{h} tiles {tw}x{th}");
+    }
+}
+
+#[test]
+fn staged_decode_tile_order_is_irrelevant() {
+    let img = Image::synthetic_rgb(64, 64, 5);
+    let bytes =
+        encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(32, 32)).expect("encode");
+    let dec = StagedDecoder::new(&bytes).expect("parse");
+    let mut out = dec.blank_image();
+    // Decode tiles in reverse order — each tile is independent.
+    for t in (0..dec.num_tiles()).rev() {
+        let coeffs = dec.entropy_decode_tile(t).expect("entropy");
+        let samples = dec.dc_unshift_tile(
+            dec.inverse_mct_tile(dec.idwt_tile(dec.dequantize_tile(&coeffs))),
+        );
+        dec.place_tile(&mut out, &samples);
+    }
+    assert_eq!(out, img);
+}
+
+#[test]
+fn every_prefix_truncation_fails_cleanly() {
+    let img = Image::synthetic_rgb(48, 48, 6);
+    let bytes = encode(&img, &EncodeParams::new(Mode::Lossless)).expect("encode");
+    for frac in 1..20 {
+        let cut = &bytes[..bytes.len() * frac / 20];
+        match decode(cut) {
+            Err(_) => {}
+            Ok(_) => panic!("prefix of {} bytes decoded successfully", cut.len()),
+        }
+    }
+}
+
+#[test]
+fn corrupted_markers_are_rejected_not_panicking() {
+    let img = Image::synthetic_grey(32, 32, 7);
+    let bytes = encode(&img, &EncodeParams::new(Mode::Lossless)).expect("encode");
+    // Flip single bytes through the header region; decoding must never
+    // panic — only succeed or return a structured error.
+    for i in 0..bytes.len().min(64) {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0xA5;
+        let _ = decode(&bad);
+    }
+}
+
+#[test]
+fn zero_bitplane_consistency_is_enforced() {
+    // A decoder invariant check: tamper with single bytes anywhere in the
+    // stream; structural errors must be *reported*, never panicked, and
+    // at least one corruption must be detected.
+    let img = Image::synthetic_grey(32, 32, 9);
+    let bytes = encode(&img, &EncodeParams::new(Mode::Lossless)).expect("encode");
+    let mut tripped = false;
+    for i in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0xFF;
+        match decode(&bad) {
+            Err(CodecError::Malformed { .. }) | Err(CodecError::Truncated { .. }) => {
+                tripped = true;
+            }
+            // MQ payload corruption may decode to different pixels
+            // without structural damage — acceptable.
+            _ => {}
+        }
+    }
+    assert!(tripped, "no corruption was ever detected in the whole stream");
+}
+
+#[test]
+fn lossy_quality_scales_monotonically_with_step() {
+    let img = Image::synthetic_rgb(64, 64, 10);
+    let mut last_psnr = f64::INFINITY;
+    let mut last_size = usize::MAX;
+    for step in [0.125, 0.5, 2.0, 8.0] {
+        let bytes = encode(&img, &EncodeParams::new(Mode::Lossy { base_step: step }))
+            .expect("encode");
+        let out = decode(&bytes).expect("decode");
+        let psnr = img.psnr(&out.image);
+        assert!(
+            psnr <= last_psnr,
+            "PSNR must not improve with coarser steps: {psnr} after {last_psnr}"
+        );
+        assert!(
+            bytes.len() <= last_size,
+            "stream must not grow with coarser steps"
+        );
+        last_psnr = psnr;
+        last_size = bytes.len();
+    }
+    assert!(last_psnr > 20.0, "even step 8 keeps recognisable quality");
+}
+
+#[test]
+fn pnm_in_codec_out_pipeline() {
+    // External tool -> PNM -> encode -> decode -> PNM, bit-exact.
+    let img = Image::synthetic_rgb(40, 30, 11);
+    let pnm_in = write_pnm(&img).expect("pnm write");
+    let loaded = read_pnm(&pnm_in).expect("pnm read");
+    let stream = encode(&loaded, &EncodeParams::new(Mode::Lossless)).expect("encode");
+    let out = decode(&stream).expect("decode");
+    assert_eq!(write_pnm(&out.image).expect("pnm out"), pnm_in);
+}
+
+#[test]
+fn thumbnail_pipeline_shrinks_by_powers_of_two() {
+    let img = Image::synthetic_rgb(64, 64, 12);
+    let bytes = encode(&img, &EncodeParams::new(Mode::Lossless)).expect("encode");
+    let mut last_w = 0;
+    for res in 0..=3 {
+        let thumb = decode_thumbnail(&bytes, res).expect("thumbnail");
+        assert_eq!(thumb.width, 64 >> (3 - res));
+        assert!(thumb.width > last_w, "each resolution doubles the width");
+        last_w = thumb.width;
+    }
+    assert_eq!(
+        decode_thumbnail(&bytes, usize::MAX).expect("full"),
+        img,
+        "max_res beyond the level count degenerates to a full decode"
+    );
+}

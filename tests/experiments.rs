@@ -1,0 +1,93 @@
+//! Integration smoke tests of the paper experiments: a representative
+//! subset of Table 1, the whole of Table 2, the Figure 1 profile and the
+//! two ablation axes. (The full Table 1 shape suite lives in the
+//! `jpeg2000-models` crate.)
+
+use osss_jpeg2000::models::report::{check_table1_shape, format_table1, format_table2};
+use osss_jpeg2000::models::synth::table2;
+use osss_jpeg2000::models::{
+    profile, run_scaling, run_v5_with_policy, run_version, ArbPolicy, ModeSel, VersionId,
+};
+
+#[test]
+fn key_table1_versions_run_and_are_functionally_correct() {
+    let mut results = Vec::new();
+    for v in [VersionId::V1, VersionId::V4, VersionId::V5] {
+        for mode in ModeSel::ALL {
+            let r = run_version(v, mode).expect("simulation");
+            assert!(r.functional_ok, "{v} {mode}");
+            results.push(r);
+        }
+    }
+    // Formatting must include what we ran.
+    let text = format_table1(&results);
+    assert!(text.contains("SW only"));
+    assert!(text.contains("SW parallel"));
+    // Speed relations for what we have.
+    let checks = check_table1_shape(&results);
+    for c in checks {
+        assert!(c.pass, "{}: measured {}", c.name, c.measured);
+    }
+}
+
+#[test]
+fn vta_pair_preserves_functionality_and_bus_penalty() {
+    let a = run_version(VersionId::V6a, ModeSel::Lossless).expect("6a");
+    let b = run_version(VersionId::V6b, ModeSel::Lossless).expect("6b");
+    assert!(a.functional_ok && b.functional_ok);
+    assert!(a.idwt_time > b.idwt_time, "bus mapping must cost IDWT time");
+}
+
+#[test]
+fn table2_regenerates_with_correct_shape() {
+    let rows = table2();
+    let text = format_table2(&rows);
+    assert!(text.contains("Slice flip-flops"));
+    assert!(text.contains("Est. frequency"));
+    // The two headline relations of the paper's conclusion.
+    assert!(rows[0].fossy.slices > rows[0].reference.slices); // 5/3: FOSSY bigger
+    assert!(rows[1].fossy.slices < rows[1].reference.slices); // 9/7: FOSSY smaller
+    assert!(rows[1].fossy.fmax_mhz < rows[1].reference.fmax_mhz); // ... and slower
+}
+
+#[test]
+fn figure1_profile_is_entropy_dominated() {
+    for mode in ModeSel::ALL {
+        let p = profile::profile(mode, 96);
+        assert!(
+            p.entropy_dominates(),
+            "{mode}: {:?} (paper: {:?})",
+            p.measured,
+            p.paper
+        );
+    }
+}
+
+#[test]
+fn scaling_ablation_shows_7b_scales_better() {
+    // The paper's closing Table 1 remark in miniature: at 8-way
+    // parallelism the bus mapping pays a pronounced IDWT penalty, the
+    // P2P mapping none.
+    let a2 = run_scaling(ModeSel::Lossless, 2, false).expect("2-way bus");
+    let a8 = run_scaling(ModeSel::Lossless, 8, false).expect("8-way bus");
+    let b2 = run_scaling(ModeSel::Lossless, 2, true).expect("2-way p2p");
+    let b8 = run_scaling(ModeSel::Lossless, 8, true).expect("8-way p2p");
+    assert!(a8.idwt_time > a2.idwt_time, "bus penalty grows with CPUs");
+    let p2p_drift = b8.idwt_time.as_ms_f64() / b2.idwt_time.as_ms_f64();
+    assert!((0.99..=1.01).contains(&p2p_drift), "P2P IDWT flat: {p2p_drift}");
+    assert!(b8.decode_time < a8.decode_time, "7b wins at 8-way");
+}
+
+#[test]
+fn arbitration_policy_is_second_order() {
+    let base = run_v5_with_policy(ModeSel::Lossless, ArbPolicy::Fcfs).expect("fcfs");
+    for policy in [ArbPolicy::RoundRobin, ArbPolicy::StaticPriority] {
+        let r = run_v5_with_policy(ModeSel::Lossless, policy).expect("run");
+        assert!(r.functional_ok, "{policy} broke the output");
+        let ratio = r.decode_time.as_ms_f64() / base.decode_time.as_ms_f64();
+        assert!(
+            (0.98..=1.02).contains(&ratio),
+            "{policy}: decode ratio {ratio} should be second-order"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration: the seamless-refinement property.
+//!
+//! One behaviour — a producer task feeding a filtering shared object — is
+//! expressed once and mapped three ways: Application Layer, VTA with a
+//! shared bus, VTA with a point-to-point link. The functional output must
+//! be identical in all three; only timing may change, and it must change
+//! in the direction the architecture implies.
+
+use std::sync::Arc;
+
+use osss_jpeg2000::osss::{sched::Fcfs, SharedObject, TaskEnv};
+use osss_jpeg2000::sim::{Frequency, SimError, SimTime, Simulation};
+use osss_jpeg2000::vta::{
+    BusConfig, Channel, OpbBus, P2pChannel, RmiService, SoftwareProcessor,
+};
+
+const BLOCKS: usize = 8;
+
+fn behaviour_result() -> Vec<i64> {
+    (0..BLOCKS as i64).map(|i| (i + 1) * 7).collect()
+}
+
+enum Mapping {
+    Application,
+    VtaBus,
+    VtaP2p,
+}
+
+fn run(mapping: Mapping) -> Result<(SimTime, Vec<i64>), SimError> {
+    let mut sim = Simulation::new();
+    let so = SharedObject::new(&mut sim, "filter", Vec::<i64>::new(), Fcfs::new());
+
+    // The channel/processor resources exist only on the VTA layer.
+    let clk = Frequency::mhz(100);
+    let (env, rmi): (TaskEnv, Option<RmiService<Vec<i64>>>) = match &mapping {
+        Mapping::Application => (TaskEnv::application_layer("producer"), None),
+        Mapping::VtaBus => {
+            let cpu = SoftwareProcessor::new(&mut sim, "cpu", clk);
+            let bus: Arc<dyn Channel> =
+                Arc::new(OpbBus::new(&mut sim, "opb", BusConfig::opb_100mhz()));
+            (cpu.env("producer"), Some(RmiService::new(so.clone(), bus)))
+        }
+        Mapping::VtaP2p => {
+            let cpu = SoftwareProcessor::new(&mut sim, "cpu", clk);
+            let link: Arc<dyn Channel> =
+                Arc::new(P2pChannel::new(&mut sim, "link", clk));
+            (cpu.env("producer"), Some(RmiService::new(so.clone(), link)))
+        }
+    };
+
+    let so_task = so.clone();
+    sim.spawn_process("producer", move |ctx| {
+        for i in 0..BLOCKS as i64 {
+            let block = env.eet(ctx, SimTime::us(100), || i + 1)?;
+            let body = move |acc: &mut Vec<i64>,
+                             ctx: &osss_jpeg2000::sim::Context|
+                  -> Result<(), SimError> {
+                ctx.wait(SimTime::us(5))?;
+                acc.push(block * 7);
+                Ok(())
+            };
+            match &rmi {
+                None => so_task.call(ctx, body)?,
+                Some(rmi) => rmi.invoke(ctx, &vec![0u32; 1024], &(), body)?,
+            }
+        }
+        Ok(())
+    });
+    let report = sim.run()?;
+    report.expect_all_finished()?;
+    Ok((report.end_time, so.inspect(|acc| acc.clone())))
+}
+
+#[test]
+fn behaviour_is_identical_across_all_three_mappings() {
+    let (_, app) = run(Mapping::Application).expect("app layer");
+    let (_, bus) = run(Mapping::VtaBus).expect("vta bus");
+    let (_, p2p) = run(Mapping::VtaP2p).expect("vta p2p");
+    assert_eq!(app, behaviour_result());
+    assert_eq!(app, bus);
+    assert_eq!(app, p2p);
+}
+
+#[test]
+fn refinement_adds_communication_time_in_the_expected_order() {
+    let (t_app, _) = run(Mapping::Application).expect("app layer");
+    let (t_bus, _) = run(Mapping::VtaBus).expect("vta bus");
+    let (t_p2p, _) = run(Mapping::VtaP2p).expect("vta p2p");
+    assert!(
+        t_app < t_p2p,
+        "P2P refinement adds transfer time: {t_app} vs {t_p2p}"
+    );
+    assert!(
+        t_p2p < t_bus,
+        "shared-bus transfers cost more than P2P: {t_p2p} vs {t_bus}"
+    );
+}
+
+#[test]
+fn multi_client_arbitration_preserves_every_item() {
+    // Four tasks push disjoint values through one shared object under
+    // FCFS arbitration — all values arrive exactly once.
+    let mut sim = Simulation::new();
+    let so = SharedObject::new(&mut sim, "sink", Vec::<u32>::new(), Fcfs::new());
+    for k in 0..4u32 {
+        let so = so.clone();
+        sim.spawn_process(&format!("p{k}"), move |ctx| {
+            for j in 0..8u32 {
+                so.call(ctx, |acc, ctx| {
+                    acc.push(k * 100 + j);
+                    ctx.wait(SimTime::us(3))
+                })?;
+            }
+            Ok(())
+        });
+    }
+    sim.run().expect("run").expect_all_finished().expect("done");
+    let mut got = so.inspect(|v| v.clone());
+    got.sort();
+    let mut want: Vec<u32> = (0..4).flat_map(|k| (0..8).map(move |j| k * 100 + j)).collect();
+    want.sort();
+    assert_eq!(got, want);
+    // Exclusive 3 us sections: exactly 32 × 3 us of busy time.
+    assert_eq!(so.stats().total_busy, SimTime::us(96));
+}
