@@ -1,0 +1,234 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Implements the subset the VTA serialisation layer uses: `BytesMut`
+//! as a growable write buffer (`BufMut` big-endian putters, `resize`,
+//! `freeze`), and `Bytes` as a cheap-to-clone consuming read view
+//! (`Buf` big-endian getters, `slice`). Wire format matches the real
+//! crate (network byte order), so serialised traces stay comparable.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// Growable byte buffer for writing.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+/// Immutable, cheaply cloneable view of a byte buffer; reads consume
+/// from the front.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value);
+    }
+
+    pub fn extend_from_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+}
+
+impl Bytes {
+    fn from_vec(data: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = data.into();
+        Bytes {
+            start: 0,
+            end: data.len(),
+            data,
+        }
+    }
+
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes::from_vec(slice.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Sub-view relative to the current (unconsumed) view.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Read side: big-endian getters that consume from the front.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_bytes(2).try_into().unwrap())
+    }
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_bytes(4).try_into().unwrap())
+    }
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+    fn get_i32(&mut self) -> i32 {
+        i32::from_be_bytes(self.take_bytes(4).try_into().unwrap())
+    }
+    fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underrun");
+        let at = self.start;
+        self.start += n;
+        &self.data[at..at + n]
+    }
+}
+
+/// Write side: big-endian putters.
+pub trait BufMut {
+    fn put_slice(&mut self, slice: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_big_endian() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_i64(-42);
+        w.put_f64(3.5);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 8);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_i64(), -42);
+        assert_eq!(r.get_f64(), 3.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_relative_to_view() {
+        let mut w = BytesMut::new();
+        w.put_slice(&[0, 1, 2, 3, 4, 5]);
+        let mut b = w.freeze();
+        assert_eq!(b.get_u8(), 0);
+        let s = b.slice(1..3);
+        assert_eq!(s.as_slice(), &[2, 3]);
+    }
+
+    #[test]
+    fn wire_format_is_network_order() {
+        let mut w = BytesMut::new();
+        w.put_u16(0x0102);
+        assert_eq!(w.freeze().as_slice(), &[0x01, 0x02]);
+    }
+}

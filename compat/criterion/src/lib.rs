@@ -1,0 +1,237 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal wall-clock harness with the same authoring API
+//! (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `b.iter(..)`). Per benchmark it runs one warm-up
+//! iteration, then `sample_size` timed samples, and prints
+//! min/mean/max to stdout. No statistics, plots, or baselines — but
+//! the numbers are honest wall-clock timings, so relative comparisons
+//! (e.g. the parallel-decode scaling bench) are meaningful.
+//!
+//! When invoked with `--test` (as `cargo test` does for bench targets
+//! with the default `test = true`) every benchmark runs exactly once,
+//! as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark (printed, not otherwise used).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+enum RunMode {
+    #[default]
+    Bench,
+    /// `--test`: run each benchmark body once, don't measure.
+    Smoke,
+}
+
+pub struct Criterion {
+    mode: RunMode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = RunMode::Bench;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = RunMode::Smoke,
+                "--bench" => mode = RunMode::Bench,
+                s if !s.starts_with('-') => filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            smoke: matches!(self.criterion.mode, RunMode::Smoke),
+        };
+        match self.criterion.mode {
+            RunMode::Smoke => {
+                f(&mut b);
+                println!("{full}: ok (smoke)");
+            }
+            RunMode::Bench => {
+                // One warm-up call, then `sample_size` measured samples.
+                f(&mut b);
+                b.samples.clear();
+                for _ in 0..self.sample_size {
+                    f(&mut b);
+                }
+                let n = b.samples.len().max(1);
+                let total: Duration = b.samples.iter().sum();
+                let mean = total / n as u32;
+                let min = b.samples.iter().min().copied().unwrap_or_default();
+                let max = b.samples.iter().max().copied().unwrap_or_default();
+                let thr = match self.throughput {
+                    Some(Throughput::Elements(e)) if !mean.is_zero() => {
+                        format!("  {:.1} elem/s", e as f64 / mean.as_secs_f64())
+                    }
+                    Some(Throughput::Bytes(by)) if !mean.is_zero() => {
+                        format!(
+                            "  {:.1} MiB/s",
+                            by as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                        )
+                    }
+                    _ => String::new(),
+                };
+                println!("{full}: mean {mean:?}  min {min:?}  max {max:?}  ({n} samples){thr}");
+            }
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+    smoke: bool,
+}
+
+impl Bencher {
+    /// Times one sample of `f` (a single call per sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        if !self.smoke {
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            mode: RunMode::Bench,
+            filter: None,
+        };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).bench_function("id", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            mode: RunMode::Smoke,
+            filter: None,
+        };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("id", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            mode: RunMode::Bench,
+            filter: Some("other".into()),
+        };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("id", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{bounded, Sender, Receiver, RecvError,
+//! SendError}` are provided, backed by `std::sync::mpsc::sync_channel`.
+//! The simulation kernel uses exactly one sender and one receiver per
+//! process thread, so the std primitives are a faithful substitute.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_roundtrip() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn recv_after_sender_drop_errors() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

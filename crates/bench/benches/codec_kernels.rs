@@ -51,7 +51,13 @@ fn bench_t1(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let (w, h) = (64, 64);
     let mags: Vec<u32> = (0..w * h)
-        .map(|_| if rng.gen_bool(0.7) { 0 } else { rng.gen_range(1..512) })
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                0
+            } else {
+                rng.gen_range(1..512)
+            }
+        })
         .collect();
     let negative: Vec<bool> = (0..w * h).map(|_| rng.gen_bool(0.5)).collect();
     let mut group = c.benchmark_group("t1_codeblock_64x64");

@@ -1,0 +1,37 @@
+//! Tile-parallel decode scaling: sequential `decode` versus
+//! `decode_parallel` with 2 and 4 workers on the Table 1 workload
+//! (128×128, 16 tiles, 3 components), in both modes.
+//!
+//! This is the native-execution counterpart of the paper's model
+//! versions 2–5 (1, 2 or 4 decoder pipelines): the models predict the
+//! scaling in simulated time, this bench measures it on the host. On a
+//! single-core host the parallel backend degrades gracefully to
+//! roughly sequential speed (the work queue just serialises).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jpeg2000::codec::decode;
+use jpeg2000::parallel::decode_parallel;
+use jpeg2000_models::{workload::workload, ModeSel};
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    for mode in ModeSel::ALL {
+        let w = workload(mode);
+        let bytes = &*w.codestream;
+        let tiles = w.decoder.num_tiles() as u64;
+        let mut group = c.benchmark_group(format!("parallel_scaling_{mode}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(tiles));
+        group.bench_function("sequential", |b| {
+            b.iter(|| decode(bytes).expect("decode").image)
+        });
+        for workers in [2usize, 4] {
+            group.bench_function(format!("{workers}_workers"), |b| {
+                b.iter(|| decode_parallel(bytes, workers).expect("decode").image)
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -27,8 +27,11 @@ pub fn encoded_workload(lossless: bool, size: usize) -> (Image, Vec<u8>) {
     } else {
         Mode::lossy_default()
     };
-    let bytes = encode(&image, &EncodeParams::new(mode).tile_size(size / 2, size / 2))
-        .expect("encode bench workload");
+    let bytes = encode(
+        &image,
+        &EncodeParams::new(mode).tile_size(size / 2, size / 2),
+    )
+    .expect("encode bench workload");
     (image, bytes)
 }
 

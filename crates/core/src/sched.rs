@@ -184,12 +184,12 @@ mod tests {
         // First grant: lowest client id.
         let pending = [mk(p1, 1), mk(p0, 2), mk(p2, 3)];
         assert_eq!(a.pick(&pending), Some(1)); // p0
-        // p0 just served: now p1 preferred over p0 even if p0 re-requests.
+                                               // p0 just served: now p1 preferred over p0 even if p0 re-requests.
         let pending = [mk(p0, 4), mk(p1, 1), mk(p2, 3)];
         assert_eq!(a.pick(&pending), Some(1)); // p1
         let pending = [mk(p0, 4), mk(p2, 3)];
         assert_eq!(a.pick(&pending), Some(1)); // p2
-        // Wrap around.
+                                               // Wrap around.
         let pending = [mk(p0, 4)];
         assert_eq!(a.pick(&pending), Some(0));
     }

@@ -145,12 +145,7 @@ impl<T> SharedObject<T> {
 
 impl<T: Send + 'static> SharedObject<T> {
     /// Creates a shared object wrapping `data`, arbitrated by `arbiter`.
-    pub fn new(
-        sim: &mut Simulation,
-        name: &str,
-        data: T,
-        arbiter: impl Arbiter + 'static,
-    ) -> Self {
+    pub fn new(sim: &mut Simulation, name: &str, data: T, arbiter: impl Arbiter + 'static) -> Self {
         SharedObject {
             inner: Arc::new(Inner {
                 name: name.to_string(),

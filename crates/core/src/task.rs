@@ -46,12 +46,7 @@ impl SwTask {
 
     /// Spawns a software task with an explicit environment (used by the VTA
     /// layer to bind the task to a software processor).
-    pub fn spawn_with_env<F>(
-        sim: &mut Simulation,
-        name: &str,
-        env: TaskEnv,
-        body: F,
-    ) -> SwTask
+    pub fn spawn_with_env<F>(sim: &mut Simulation, name: &str, env: TaskEnv, body: F) -> SwTask
     where
         F: FnOnce(&TaskEnv, &Context) -> SimResult<()> + Send + 'static,
     {

@@ -5,7 +5,10 @@ use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use osss_core::{sched::{Fcfs, RoundRobin, StaticPriority}, CallOptions, SharedObject};
+use osss_core::{
+    sched::{Fcfs, RoundRobin, StaticPriority},
+    CallOptions, SharedObject,
+};
 use osss_sim::{SimTime, Simulation};
 
 /// Runs `clients` processes, each making `calls` method calls of

@@ -168,15 +168,9 @@ impl EntityBuilder {
     ) -> Self {
         self.entity.functions.push(Function {
             name: name.to_string(),
-            params: params
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
+            params: params.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
             ret,
-            locals: locals
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
+            locals: locals.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
             body,
             result,
         });

@@ -39,14 +39,26 @@ pub fn emit_runtime_header() -> String {
     let _ = writeln!(w);
     let _ = writeln!(w, "#include <stdint.h>");
     let _ = writeln!(w);
-    let _ = writeln!(w, "/* OSSS embedded runtime: RMI over the memory-mapped bus. */");
+    let _ = writeln!(
+        w,
+        "/* OSSS embedded runtime: RMI over the memory-mapped bus. */"
+    );
     let _ = writeln!(w, "typedef struct {{");
     let _ = writeln!(w, "    volatile uint32_t *base;");
     let _ = writeln!(w, "}} osss_so_handle;");
     let _ = writeln!(w);
-    let _ = writeln!(w, "void osss_rmi_request(osss_so_handle *so, uint32_t method_id,");
-    let _ = writeln!(w, "                      const uint32_t *args, uint32_t arg_words);");
-    let _ = writeln!(w, "void osss_rmi_wait_response(osss_so_handle *so, uint32_t *result,");
+    let _ = writeln!(
+        w,
+        "void osss_rmi_request(osss_so_handle *so, uint32_t method_id,"
+    );
+    let _ = writeln!(
+        w,
+        "                      const uint32_t *args, uint32_t arg_words);"
+    );
+    let _ = writeln!(
+        w,
+        "void osss_rmi_wait_response(osss_so_handle *so, uint32_t *result,"
+    );
     let _ = writeln!(w, "                            uint32_t result_words);");
     let _ = writeln!(w, "void osss_task_yield(void);");
     let _ = writeln!(w);

@@ -40,7 +40,13 @@ pub fn emit_entity(entity: &Entity) -> String {
             .iter()
             .map(|(n, t)| format!("{} {n}", cpp_ty(*t)))
             .collect();
-        let _ = writeln!(w, "  {} {}({}) {{", cpp_ty(f.ret), f.name, params.join(", "));
+        let _ = writeln!(
+            w,
+            "  {} {}({}) {{",
+            cpp_ty(f.ret),
+            f.name,
+            params.join(", ")
+        );
         for (n, t) in &f.locals {
             let _ = writeln!(w, "    {} {n};", cpp_ty(*t));
         }
@@ -105,7 +111,12 @@ fn emit_stmt(w: &mut String, s: &Stmt, indent: usize) {
             let _ = writeln!(w, "{pad}{target} = {};", emit_expr(value));
         }
         Stmt::MemWrite { mem, index, value } => {
-            let _ = writeln!(w, "{pad}{mem}[{}] = {};", emit_expr(index), emit_expr(value));
+            let _ = writeln!(
+                w,
+                "{pad}{mem}[{}] = {};",
+                emit_expr(index),
+                emit_expr(value)
+            );
         }
         Stmt::If { cond, then_, else_ } => {
             let _ = writeln!(w, "{pad}if ({}) {{", emit_expr(cond));

@@ -59,7 +59,11 @@ pub fn emit_testbench(entity: &Entity, steps: &[Step]) -> String {
             "  signal {} : {}{};",
             p.name,
             p.ty.vhdl(),
-            if p.ty == Ty::Bit { " := '0'" } else { " := (others => '0')" }
+            if p.ty == Ty::Bit {
+                " := '0'"
+            } else {
+                " := (others => '0')"
+            }
         );
     }
     let _ = writeln!(w, "begin");

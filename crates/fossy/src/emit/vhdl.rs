@@ -53,11 +53,7 @@ fn emit_entity_three_address(entity: &Entity) -> String {
         if let Process::Fsm { name, states } = p {
             let names: Vec<&str> = states.iter().map(|s| s.name.as_str()).collect();
             let _ = writeln!(w, "  type {name}_state_t is ({});", names.join(", "));
-            let _ = writeln!(
-                w,
-                "  signal {name}_state : {name}_state_t := {};",
-                names[0]
-            );
+            let _ = writeln!(w, "  signal {name}_state : {name}_state_t := {};", names[0]);
             let _ = writeln!(w, "  signal {name}_state_next : {name}_state_t;");
             // Next-value shadow signals for the two-process FSM form.
             let mut targets: Vec<String> = Vec::new();
@@ -204,8 +200,10 @@ impl Tac<'_> {
     fn fresh(&mut self, width: u32) -> String {
         let name = format!("fossy_tmp_{}", self.counter);
         self.counter += 1;
-        self.decls
-            .push(format!("variable {name} : signed({} downto 0);", width.max(1) - 1));
+        self.decls.push(format!(
+            "variable {name} : signed({} downto 0);",
+            width.max(1) - 1
+        ));
         name
     }
 
@@ -247,10 +245,7 @@ impl Tac<'_> {
                 t
             }
             Expr::Call(name, args) => {
-                let fargs: Vec<String> = args
-                    .iter()
-                    .map(|a| self.flatten(w, a, indent))
-                    .collect();
+                let fargs: Vec<String> = args.iter().map(|a| self.flatten(w, a, indent)).collect();
                 let t = self.fresh(e.width(self.funcs));
                 let _ = writeln!(w, "{pad}{t} := {name}({});", fargs.join(", "));
                 t
@@ -394,11 +389,7 @@ pub fn emit_entity(entity: &Entity) -> String {
         if let Process::Fsm { name, states } = p {
             let names: Vec<&str> = states.iter().map(|s| s.name.as_str()).collect();
             let _ = writeln!(w, "  type {name}_state_t is ({});", names.join(", "));
-            let _ = writeln!(
-                w,
-                "  signal {name}_state : {name}_state_t := {};",
-                names[0]
-            );
+            let _ = writeln!(w, "  signal {name}_state : {name}_state_t := {};", names[0]);
         }
     }
     for s in &entity.signals {
@@ -697,22 +688,23 @@ mod tests {
             .memory("linebuf", 64, 16)
             .function(
                 "predict",
-                &[("a", Ty::Signed(16)), ("b", Ty::Signed(16)), ("c", Ty::Signed(16))],
+                &[
+                    ("a", Ty::Signed(16)),
+                    ("b", Ty::Signed(16)),
+                    ("c", Ty::Signed(16)),
+                ],
                 Ty::Signed(16),
                 vec![],
                 &[],
-                e::sub(e::v("b", 16), e::shr(e::add(e::v("a", 16), e::v("c", 16)), 1)),
+                e::sub(
+                    e::v("b", 16),
+                    e::shr(e::add(e::v("a", 16), e::v("c", 16)), 1),
+                ),
             )
             .fsm(
                 "ctrl",
                 vec![
-                    (
-                        "idle",
-                        vec![
-                            s::assign("acc", e::c(0, 16)),
-                            s::goto("run"),
-                        ],
-                    ),
+                    ("idle", vec![s::assign("acc", e::c(0, 16)), s::goto("run")]),
                     (
                         "run",
                         vec![

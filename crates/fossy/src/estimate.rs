@@ -228,11 +228,7 @@ fn stmt_luts(s: &Stmt, funcs: &BTreeMap<String, Function>) -> u64 {
             expr_luts(index, funcs) + expr_luts(value, funcs) + 2
         }
         Stmt::If { cond, then_, else_ } => {
-            let inner: u64 = then_
-                .iter()
-                .chain(else_)
-                .map(|s| stmt_luts(s, funcs))
-                .sum();
+            let inner: u64 = then_.iter().chain(else_).map(|s| stmt_luts(s, funcs)).sum();
             let mut targets = Vec::new();
             collect_targets(std::slice::from_ref(s), funcs, &mut targets);
             let mux: u64 = targets.iter().map(|(_, w)| (*w as u64).div_ceil(2)).sum();
@@ -330,10 +326,7 @@ mod tests {
         let ent = EntityBuilder::new("m")
             .signal("q", Ty::Signed(16))
             .memory("tile", 2048, 16) // 32 kbit -> 2 BRAM18
-            .clocked(
-                "p",
-                vec![s::assign("q", e::mem("tile", e::c(0, 11), 16))],
-            )
+            .clocked("p", vec![s::assign("q", e::mem("tile", e::c(0, 11), 16))])
             .build();
         let r = estimate_entity(&ent, &dev);
         assert_eq!(r.brams, 2);
@@ -433,7 +426,10 @@ mod tests {
                         e::mul(e::v("x", 16), e::c(3, 16)),
                     ),
                 )
-                .clocked("p", vec![s::assign("y0", e::call("f", vec![e::v("a", 16)]))])
+                .clocked(
+                    "p",
+                    vec![s::assign("y0", e::call("f", vec![e::v("a", 16)]))],
+                )
                 .build();
             estimate_entity(&inline_entity(&one), &dev)
         };

@@ -72,7 +72,11 @@ pub fn idwt53_fossy_input() -> Entity {
         // Inverse update: s' = s − ((d0 + d1 + 2) >> 2).
         .function(
             "unupdate53",
-            &[("s", Ty::Signed(W)), ("d0", Ty::Signed(W)), ("d1", Ty::Signed(W))],
+            &[
+                ("s", Ty::Signed(W)),
+                ("d0", Ty::Signed(W)),
+                ("d1", Ty::Signed(W)),
+            ],
             Ty::Signed(W),
             vec![s::assign(
                 "dsum",
@@ -84,7 +88,11 @@ pub fn idwt53_fossy_input() -> Entity {
         // Inverse predict: d' = d + ((a + c) >> 1).
         .function(
             "unpredict53",
-            &[("d", Ty::Signed(W)), ("a", Ty::Signed(W)), ("c", Ty::Signed(W))],
+            &[
+                ("d", Ty::Signed(W)),
+                ("a", Ty::Signed(W)),
+                ("c", Ty::Signed(W)),
+            ],
             Ty::Signed(W),
             vec![s::assign("asum", e::add(vw("a"), vw("c")))],
             &[("asum", Ty::Signed(W))],
@@ -110,14 +118,8 @@ pub fn idwt53_fossy_input() -> Entity {
                     "row_load",
                     vec![
                         s::assign("x0", e::mem("linebuf", addr("i"), W)),
-                        s::assign(
-                            "x1",
-                            e::mem("linebuf", e::add(addr("i"), e::c(1, AW)), W),
-                        ),
-                        s::assign(
-                            "x2",
-                            e::mem("linebuf", e::add(addr("i"), e::c(2, AW)), W),
-                        ),
+                        s::assign("x1", e::mem("linebuf", e::add(addr("i"), e::c(1, AW)), W)),
+                        s::assign("x2", e::mem("linebuf", e::add(addr("i"), e::c(2, AW)), W)),
                         s::goto("row_even"),
                     ],
                 ),
@@ -163,14 +165,8 @@ pub fn idwt53_fossy_input() -> Entity {
                     "col_load",
                     vec![
                         s::assign("x0", e::mem("colbuf", addr("j"), W)),
-                        s::assign(
-                            "x1",
-                            e::mem("colbuf", e::add(addr("j"), e::c(1, AW)), W),
-                        ),
-                        s::assign(
-                            "x2",
-                            e::mem("colbuf", e::add(addr("j"), e::c(2, AW)), W),
-                        ),
+                        s::assign("x1", e::mem("colbuf", e::add(addr("j"), e::c(1, AW)), W)),
+                        s::assign("x2", e::mem("colbuf", e::add(addr("j"), e::c(2, AW)), W)),
                         s::goto("col_even"),
                     ],
                 ),
@@ -250,7 +246,11 @@ pub fn idwt53_1d_core() -> Entity {
         .memory("colbuf", LINE_BUF_WORDS, 16)
         .function(
             "unupdate53",
-            &[("s", Ty::Signed(W)), ("d0", Ty::Signed(W)), ("d1", Ty::Signed(W))],
+            &[
+                ("s", Ty::Signed(W)),
+                ("d0", Ty::Signed(W)),
+                ("d1", Ty::Signed(W)),
+            ],
             Ty::Signed(W),
             vec![s::assign(
                 "dsum",
@@ -261,7 +261,11 @@ pub fn idwt53_1d_core() -> Entity {
         )
         .function(
             "unpredict53",
-            &[("d", Ty::Signed(W)), ("a", Ty::Signed(W)), ("c", Ty::Signed(W))],
+            &[
+                ("d", Ty::Signed(W)),
+                ("a", Ty::Signed(W)),
+                ("c", Ty::Signed(W)),
+            ],
             Ty::Signed(W),
             vec![s::assign("asum", e::add(vw("a"), vw("c")))],
             &[("asum", Ty::Signed(W))],
@@ -401,14 +405,8 @@ pub fn idwt53_reference() -> Entity {
             vec![
                 s::assign("addr_even", e::shl(addr("i"), 1)),
                 s::assign("addr_odd", e::add(e::shl(addr("i"), 1), e::c(1, AW))),
-                s::assign(
-                    "at_left",
-                    e::eq(addr("i"), e::c(0, AW)),
-                ),
-                s::assign(
-                    "at_right",
-                    e::eq(addr("i"), e::v("n_cols", AW)),
-                ),
+                s::assign("at_left", e::eq(addr("i"), e::c(0, AW))),
+                s::assign("at_right", e::eq(addr("i"), e::v("n_cols", AW))),
             ],
         )
         // Whole-sample symmetric extension at the tile borders: mirror
@@ -480,14 +478,8 @@ pub fn idwt53_reference() -> Entity {
                     "load",
                     vec![
                         s::assign("a", e::mem("linebuf", addr("i"), W)),
-                        s::assign(
-                            "b",
-                            e::mem("linebuf", e::add(addr("i"), e::c(1, AW)), W),
-                        ),
-                        s::assign(
-                            "c",
-                            e::mem("linebuf", e::add(addr("i"), e::c(2, AW)), W),
-                        ),
+                        s::assign("b", e::mem("linebuf", e::add(addr("i"), e::c(1, AW)), W)),
+                        s::assign("c", e::mem("linebuf", e::add(addr("i"), e::c(2, AW)), W)),
                         s::assign("op_sel", e::c(0, 1)),
                         s::goto("even"),
                     ],
@@ -611,7 +603,10 @@ pub fn idwt97_fossy_input() -> Entity {
                 "x1",
                 e::mem("linebuf", e::add(e::shl(addr("i"), 1), e::c(1, AW)), W),
             ),
-            s::assign("acc", e::call("scale", vec![vw("x0"), e::c(coef::K, CW as i64 as u32)])),
+            s::assign(
+                "acc",
+                e::call("scale", vec![vw("x0"), e::c(coef::K, CW as i64 as u32)]),
+            ),
             s::store("linebuf", e::shl(addr("i"), 1), vw("acc")),
             s::assign(
                 "acc",

@@ -98,8 +98,10 @@ impl Interp {
             .any(|p| p.name == name && p.dir == Dir::In);
         assert!(is_input, "`{name}` is not an input port");
         let ty = self.types[name];
-        self.values
-            .insert(name.to_string(), truncate(v, ty.width(), matches!(ty, Ty::Signed(_))));
+        self.values.insert(
+            name.to_string(),
+            truncate(v, ty.width(), matches!(ty, Ty::Signed(_))),
+        );
     }
 
     /// Reads any signal or port.
@@ -159,7 +161,13 @@ impl Interp {
         for p in &processes {
             match p {
                 Process::Clocked { stmts, .. } => {
-                    self.exec_stmts(stmts, None, &mut sig_updates, &mut mem_updates, &mut state_updates);
+                    self.exec_stmts(
+                        stmts,
+                        None,
+                        &mut sig_updates,
+                        &mut mem_updates,
+                        &mut state_updates,
+                    );
                 }
                 Process::Fsm { name, states } => {
                     let idx = self.states[name];
@@ -379,14 +387,8 @@ mod tests {
                 "init",
                 vec![s::if_(
                     e::eq(e::v("a", 8), e::c(0, 8)),
-                    vec![
-                        s::assign("a", e::v("seed", 8)),
-                        s::assign("b", e::c(1, 8)),
-                    ],
-                    vec![
-                        s::assign("a", e::v("b", 8)),
-                        s::assign("b", e::v("a", 8)),
-                    ],
+                    vec![s::assign("a", e::v("seed", 8)), s::assign("b", e::c(1, 8))],
+                    vec![s::assign("a", e::v("b", 8)), s::assign("b", e::v("a", 8))],
                 )],
             )
             .build();
@@ -519,7 +521,11 @@ mod tests {
         it.set_input("n_rows", 4);
         it.set_input("start", 1);
         let done = it.run_until(2000, |s| s.get("done") == 1);
-        assert!(done, "IDWT53 FSM must assert done (state {})", it.fsm_state("ctrl"));
+        assert!(
+            done,
+            "IDWT53 FSM must assert done (state {})",
+            it.fsm_state("ctrl")
+        );
         // And the inlined version behaves identically.
         let mut reference = Interp::new(&ent);
         let mut inlined = Interp::new(&inline_entity(&ent));
@@ -551,6 +557,10 @@ mod tests {
         it.set_input("n_rows", 4);
         it.set_input("start", 1);
         let done = it.run_until(5000, |s| s.get("done") == 1);
-        assert!(done, "IDWT97 FSM must assert done (state {})", it.fsm_state("ctrl"));
+        assert!(
+            done,
+            "IDWT97 FSM must assert done (state {})",
+            it.fsm_state("ctrl")
+        );
     }
 }

@@ -161,10 +161,7 @@ impl Expr {
                     a.width(funcs).max(b.width(funcs))
                 }
             }
-            Expr::Call(name, _) => funcs
-                .get(name)
-                .map(|f| f.ret.width())
-                .unwrap_or(0),
+            Expr::Call(name, _) => funcs.get(name).map(|f| f.ret.width()).unwrap_or(0),
         }
     }
 
@@ -188,10 +185,7 @@ impl Expr {
                 base + cost
             }
             Expr::Call(name, args) => {
-                let inner = funcs
-                    .get(name)
-                    .map(|f| f.body_depth(funcs))
-                    .unwrap_or(0);
+                let inner = funcs.get(name).map(|f| f.body_depth(funcs)).unwrap_or(0);
                 let amax = args.iter().map(|a| a.depth(funcs)).max().unwrap_or(0);
                 inner + amax
             }

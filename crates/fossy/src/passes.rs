@@ -91,9 +91,7 @@ fn inline_expr(e: &Expr, funcs: &BTreeMap<String, Function>) -> Expr {
             Box::new(inline_expr(b, funcs)),
         ),
         Expr::Neg(a) => Expr::Neg(Box::new(inline_expr(a, funcs))),
-        Expr::MemRead(m, idx, w) => {
-            Expr::MemRead(m.clone(), Box::new(inline_expr(idx, funcs)), *w)
-        }
+        Expr::MemRead(m, idx, w) => Expr::MemRead(m.clone(), Box::new(inline_expr(idx, funcs)), *w),
         Expr::Const(..) | Expr::Var(..) => e.clone(),
     }
 }
@@ -101,14 +99,11 @@ fn inline_expr(e: &Expr, funcs: &BTreeMap<String, Function>) -> Expr {
 fn subst(e: &Expr, env: &BTreeMap<String, Expr>) -> Expr {
     match e {
         Expr::Var(name, _) => env.get(name).cloned().unwrap_or_else(|| e.clone()),
-        Expr::Bin(op, a, b) => {
-            Expr::Bin(*op, Box::new(subst(a, env)), Box::new(subst(b, env)))
-        }
+        Expr::Bin(op, a, b) => Expr::Bin(*op, Box::new(subst(a, env)), Box::new(subst(b, env))),
         Expr::Neg(a) => Expr::Neg(Box::new(subst(a, env))),
-        Expr::Call(name, args) => Expr::Call(
-            name.clone(),
-            args.iter().map(|a| subst(a, env)).collect(),
-        ),
+        Expr::Call(name, args) => {
+            Expr::Call(name.clone(), args.iter().map(|a| subst(a, env)).collect())
+        }
         Expr::MemRead(m, idx, w) => Expr::MemRead(m.clone(), Box::new(subst(idx, env)), *w),
         Expr::Const(..) => e.clone(),
     }
@@ -189,9 +184,7 @@ fn fold_expr(e: &Expr) -> Expr {
             }
         }
         Expr::MemRead(m, idx, w) => Expr::MemRead(m.clone(), Box::new(fold_expr(idx)), *w),
-        Expr::Call(name, args) => {
-            Expr::Call(name.clone(), args.iter().map(fold_expr).collect())
-        }
+        Expr::Call(name, args) => Expr::Call(name.clone(), args.iter().map(fold_expr).collect()),
         Expr::Const(..) | Expr::Var(..) => e.clone(),
     }
 }
@@ -297,12 +290,13 @@ mod tests {
             .signal("t", Ty::Signed(16))
             .function(
                 "predict",
-                &[("p0", Ty::Signed(16)), ("p1", Ty::Signed(16)), ("p2", Ty::Signed(16))],
+                &[
+                    ("p0", Ty::Signed(16)),
+                    ("p1", Ty::Signed(16)),
+                    ("p2", Ty::Signed(16)),
+                ],
                 Ty::Signed(16),
-                vec![s::assign(
-                    "sum",
-                    e::add(e::v("p0", 16), e::v("p2", 16)),
-                )],
+                vec![s::assign("sum", e::add(e::v("p0", 16), e::v("p2", 16)))],
                 &[("sum", Ty::Signed(16))],
                 e::sub(e::v("p1", 16), e::shr(e::v("sum", 16), 1)),
             )
@@ -310,10 +304,7 @@ mod tests {
                 "dp",
                 vec![s::assign(
                     "t",
-                    e::call(
-                        "predict",
-                        vec![e::v("a", 16), e::v("b", 16), e::v("c", 16)],
-                    ),
+                    e::call("predict", vec![e::v("a", 16), e::v("b", 16), e::v("c", 16)]),
                 )],
             )
             .clocked("out", vec![s::assign("y", e::v("t", 16))])

@@ -27,8 +27,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(x, y)| e::sub(x, y)),
             (inner.clone(), inner.clone()).prop_map(|(x, y)| e::mul(x, y)),
             (inner.clone(), 0i64..4).prop_map(|(x, sh)| e::shr(x, sh)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| e::call("f", vec![x, y])),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| e::call("f", vec![x, y])),
         ]
     })
 }

@@ -27,6 +27,13 @@ use crate::tile::{codeblocks, resolution_bands, Band, Rect, TileGrid};
 /// `KMAX − Mb` as the zero-bit-plane count.
 pub const KMAX: u32 = 18;
 
+/// Upper bound on `width × height × components` the decoder will accept
+/// (2²⁸ samples ≈ 1 GiB of working planes). SIZ fields are 32-bit, so a
+/// crafted header could otherwise demand exabyte allocations and abort
+/// the process inside `Vec` before any tile data is even looked at; past
+/// this bound [`StagedDecoder::new`] returns a structured error instead.
+pub const MAX_DECODE_SAMPLES: u64 = 1 << 28;
+
 /// Lossless (5/3 + RCT) or lossy (9/7 + ICT) operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Mode {
@@ -120,9 +127,7 @@ pub fn encode(image: &Image, params: &EncodeParams) -> CodecResult<Vec<u8>> {
     if !(2..=10).contains(&params.cb_exp) {
         return Err(CodecError::invalid("cb_exp must be 2..=10"));
     }
-    let (tile_w, tile_h) = params
-        .tile_size
-        .unwrap_or((image.width, image.height));
+    let (tile_w, tile_h) = params.tile_size.unwrap_or((image.width, image.height));
     if tile_w == 0 || tile_h == 0 {
         return Err(CodecError::invalid("zero tile size"));
     }
@@ -230,10 +235,7 @@ fn encode_tile(image: &Image, header: &MainHeader, rect: Rect) -> CodecResult<Ve
             .collect::<CodecResult<_>>()?;
         for l in 0..layers {
             for bands in &per_comp {
-                let layer_bands: Vec<BandBlocks> = bands
-                    .iter()
-                    .map(|lb| lb.layer(l))
-                    .collect();
+                let layer_bands: Vec<BandBlocks> = bands.iter().map(|lb| lb.layer(l)).collect();
                 body.extend_from_slice(&write_packet(&layer_bands));
             }
         }
@@ -408,6 +410,13 @@ impl StagedDecoder {
     /// Any [`CodecError`] from parsing or validation.
     pub fn new(bytes: &[u8]) -> CodecResult<Self> {
         let (header, segments) = parse_codestream(bytes)?;
+        let samples =
+            u64::from(header.width) * u64::from(header.height) * u64::from(header.num_components);
+        if samples > MAX_DECODE_SAMPLES {
+            return Err(CodecError::malformed(format!(
+                "image of {samples} samples exceeds the decoder limit of {MAX_DECODE_SAMPLES}"
+            )));
+        }
         let grid = TileGrid::new(
             header.width as usize,
             header.height as usize,
@@ -500,12 +509,7 @@ impl StagedDecoder {
         for group in &groups {
             let grids: Vec<(usize, usize)> = group
                 .iter()
-                .map(|b| {
-                    (
-                        b.rect.w.div_ceil(cb).max(1),
-                        b.rect.h.div_ceil(cb).max(1),
-                    )
-                })
+                .map(|b| (b.rect.w.div_ceil(cb).max(1), b.rect.h.div_ceil(cb).max(1)))
                 .collect();
             // Per component, per band, per block: accumulated segments
             // plus the zero-bit-plane value from the first inclusion.
@@ -564,10 +568,8 @@ impl StagedDecoder {
                                 "pass count exceeds the signalled bit-planes",
                             ));
                         }
-                        let refs: Vec<(&[u8], u32)> = segments
-                            .iter()
-                            .map(|(d, n)| (d.as_slice(), *n))
-                            .collect();
+                        let refs: Vec<(&[u8], u32)> =
+                            segments.iter().map(|(d, n)| (d.as_slice(), *n)).collect();
                         let (mags, negative) =
                             decode_block_segments(&refs, r.w, r.h, band.kind, mb);
                         for y in 0..r.h {
@@ -608,8 +610,7 @@ impl StagedDecoder {
                 Wavelet::W53 => CoeffPlane::Int(q.clone()),
                 Wavelet::W97 => {
                     let mut real = vec![0f64; q.len()];
-                    for band in crate::tile::subbands(rect.w, rect.h, self.header.levels as usize)
-                    {
+                    for band in crate::tile::subbands(rect.w, rect.h, self.header.levels as usize) {
                         let step = band_step(mode, band.kind);
                         for y in band.rect.y0..band.rect.y0 + band.rect.h {
                             for x in band.rect.x0..band.rect.x0 + band.rect.w {
@@ -814,9 +815,8 @@ pub fn decode_quality(bytes: &[u8], max_layers: usize) -> CodecResult<Image> {
     let mut image = dec.blank_image();
     for t in 0..dec.num_tiles() {
         let coeffs = dec.entropy_decode_tile_opts(t, usize::MAX, max_layers.max(1))?;
-        let samples = dec.dc_unshift_tile(
-            dec.inverse_mct_tile(dec.idwt_tile(dec.dequantize_tile(&coeffs))),
-        );
+        let samples =
+            dec.dc_unshift_tile(dec.inverse_mct_tile(dec.idwt_tile(dec.dequantize_tile(&coeffs))));
         dec.place_tile(&mut image, &samples);
     }
     Ok(image)
@@ -843,7 +843,12 @@ pub fn decode_thumbnail(bytes: &[u8], max_res: usize) -> CodecResult<Image> {
     let shrink = 1usize << applied.saturating_sub(max_res);
     let out_w = (grid.image_w).div_ceil(shrink);
     let out_h = (grid.image_h).div_ceil(shrink);
-    let mut image = Image::new(out_w, out_h, dec.header.depth, dec.header.num_components as usize);
+    let mut image = Image::new(
+        out_w,
+        out_h,
+        dec.header.depth,
+        dec.header.num_components as usize,
+    );
     for t in 0..dec.num_tiles() {
         let rect = grid.tile_rect(t);
         let coeffs = dec.entropy_decode_tile_res(t, max_res)?;
@@ -863,7 +868,12 @@ pub fn decode_thumbnail(bytes: &[u8], max_res: usize) -> CodecResult<Image> {
         // Extract the top-left (retained) region of each Mallat plane.
         let sub = TileCoeffs {
             tile: t,
-            rect: Rect { x0: rect.x0 / shrink, y0: rect.y0 / shrink, w: tw, h: th },
+            rect: Rect {
+                x0: rect.x0 / shrink,
+                y0: rect.y0 / shrink,
+                w: tw,
+                h: th,
+            },
             planes: coeffs
                 .planes
                 .iter()
@@ -1112,7 +1122,9 @@ mod tests {
     #[test]
     fn layers_and_resolution_progression_compose() {
         let img = Image::synthetic_rgb(64, 64, 17);
-        let params = EncodeParams::new(Mode::Lossless).layers(3).tile_size(32, 32);
+        let params = EncodeParams::new(Mode::Lossless)
+            .layers(3)
+            .tile_size(32, 32);
         let bytes = encode(&img, &params).unwrap();
         // Thumbnails still work with multiple layers in the stream.
         let thumb = decode_thumbnail(&bytes, 1).unwrap();
@@ -1143,7 +1155,10 @@ mod tests {
                 assert_eq!(thumb.width, 64usize.div_ceil(shrink), "res {max_res}");
                 for (ci, v) in [200, 100, 50].iter().enumerate() {
                     assert!(
-                        thumb.components[ci].data.iter().all(|&x| (x - v).abs() <= 1),
+                        thumb.components[ci]
+                            .data
+                            .iter()
+                            .all(|&x| (x - v).abs() <= 1),
                         "mode {mode:?} res {max_res} comp {ci}"
                     );
                 }

@@ -379,7 +379,13 @@ mod tests {
 
     #[test]
     fn dwt53_2d_multilevel_roundtrip_odd_sizes() {
-        for &(w, h, levels) in &[(8usize, 8usize, 3usize), (17, 13, 4), (5, 9, 2), (1, 7, 2), (16, 1, 3)] {
+        for &(w, h, levels) in &[
+            (8usize, 8usize, 3usize),
+            (17, 13, 4),
+            (5, 9, 2),
+            (1, 7, 2),
+            (16, 1, 3),
+        ] {
             let orig = random_signal(w * h, (w * h) as u64);
             let mut x = orig.clone();
             fdwt53_2d(&mut x, w, h, levels);

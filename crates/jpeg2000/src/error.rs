@@ -63,7 +63,11 @@ mod tests {
     fn display() {
         let e = CodecError::Truncated { context: "SIZ" };
         assert_eq!(e.to_string(), "codestream truncated while reading SIZ");
-        assert!(CodecError::malformed("bad marker").to_string().contains("bad marker"));
-        assert!(CodecError::invalid("tile size 0").to_string().contains("tile size 0"));
+        assert!(CodecError::malformed("bad marker")
+            .to_string()
+            .contains("bad marker"));
+        assert!(CodecError::invalid("tile size 0")
+            .to_string()
+            .contains("tile size 0"));
     }
 }

@@ -56,7 +56,10 @@ impl Plane {
     ///
     /// Panics if the rectangle exceeds the plane bounds.
     pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Plane {
-        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop out of bounds"
+        );
         let mut out = Plane::new(w, h);
         for y in 0..h {
             let src = (y0 + y) * self.width + x0;
@@ -125,7 +128,11 @@ impl Image {
                 let g0 = ((x * max as usize) / width.max(1)) as i32;
                 let g1 = ((y * max as usize) / height.max(1)) as i32;
                 // A hard-edged checker block pattern.
-                let checker = if ((x / 13) + (y / 11)) % 2 == 0 { 48 } else { 0 };
+                let checker = if ((x / 13) + (y / 11)) % 2 == 0 {
+                    48
+                } else {
+                    0
+                };
                 // Mild noise texture.
                 let noise: i32 = rng.gen_range(-12..=12);
                 let r = (g0 + checker + noise).clamp(0, max);

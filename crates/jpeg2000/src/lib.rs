@@ -24,6 +24,8 @@
 //! * [`codestream`] — marker-segment writer/parser.
 //! * [`codec`] — tiled top-level [`codec::encode`] / [`codec::decode`],
 //!   plus the stage-instrumented decoder behind the Figure-1 profile.
+//! * [`parallel`] — tile-parallel [`parallel::decode_parallel`], the
+//!   native mirror of the paper's 1/2/4-pipeline model versions.
 //!
 //! ## Example
 //!
@@ -48,6 +50,7 @@ pub mod error;
 pub mod image;
 pub mod io;
 pub mod mq;
+pub mod parallel;
 pub mod quant;
 pub mod t1;
 pub mod t2;

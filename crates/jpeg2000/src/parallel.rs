@@ -1,0 +1,231 @@
+//! Tile-parallel decoding.
+//!
+//! JPEG 2000 tiles are self-contained codestream segments: every stage
+//! of the [`StagedDecoder`] takes `&self` and touches only the tile it
+//! was given, and the tiles' image regions are disjoint. The paper's
+//! Application-Layer exploration (model versions 2–5) exploits exactly
+//! this — 1, 2 or 4 decoder pipelines over independent tiles. This
+//! module is the native-execution mirror of that design space: a pool
+//! of worker threads draining a shared atomic tile queue, bit-exact
+//! against the sequential [`decode`](crate::codec::decode).
+//!
+//! ```
+//! use jpeg2000::image::Image;
+//! use jpeg2000::codec::{encode, decode, EncodeParams, Mode};
+//! use jpeg2000::parallel::ParallelDecoder;
+//!
+//! # fn main() -> Result<(), jpeg2000::error::CodecError> {
+//! let img = Image::synthetic_rgb(64, 64, 7);
+//! let bytes = encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(16, 16))?;
+//! let par = ParallelDecoder::new().workers(4).decode(&bytes)?;
+//! assert_eq!(par.image, decode(&bytes)?.image); // bit-exact
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::codec::{DecodeTimings, DecodedImage, StagedDecoder, TileSamples};
+use crate::error::CodecResult;
+
+/// Builder-style handle for tile-parallel decoding: the `workers(n)`
+/// knob mirrors the paper's 1/2/4-pipeline model versions.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelDecoder {
+    workers: usize,
+}
+
+impl ParallelDecoder {
+    /// A decoder that picks the worker count automatically
+    /// (`std::thread::available_parallelism`, capped by the tile count).
+    pub fn new() -> Self {
+        ParallelDecoder { workers: 0 }
+    }
+
+    /// Sets the number of decode pipelines. `0` means automatic; any
+    /// value larger than the tile count is safe — surplus workers find
+    /// the queue empty and exit immediately.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Decodes `bytes` with this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of the sequential [`decode`](crate::codec::decode):
+    /// parsing and entropy-decode failures. When several tiles are
+    /// corrupt, the error of the lowest-indexed failing tile is
+    /// returned, matching the sequential tile order.
+    pub fn decode(&self, bytes: &[u8]) -> CodecResult<DecodedImage> {
+        decode_parallel(bytes, self.workers)
+    }
+}
+
+/// One worker's claim-decode loop: drains the shared tile queue, fully
+/// decoding each claimed tile to spatial samples.
+fn run_worker(
+    dec: &StagedDecoder,
+    next: &AtomicUsize,
+    num_tiles: usize,
+) -> Vec<(usize, CodecResult<TileSamples>, DecodeTimings)> {
+    let mut done = Vec::new();
+    loop {
+        let t = next.fetch_add(1, Ordering::Relaxed);
+        if t >= num_tiles {
+            return done;
+        }
+        let mut timings = DecodeTimings::default();
+        let t0 = Instant::now();
+        let result = dec.entropy_decode_tile(t).map(|coeffs| {
+            let t1 = Instant::now();
+            let wavelet = dec.dequantize_tile(&coeffs);
+            let t2 = Instant::now();
+            let samples = dec.idwt_tile(wavelet);
+            let t3 = Instant::now();
+            let samples = dec.inverse_mct_tile(samples);
+            let t4 = Instant::now();
+            let samples = dec.dc_unshift_tile(samples);
+            let t5 = Instant::now();
+            timings.entropy += t1 - t0;
+            timings.iq += t2 - t1;
+            timings.idwt += t3 - t2;
+            timings.mct += t4 - t3;
+            timings.dc_shift += t5 - t4;
+            samples
+        });
+        if result.is_err() {
+            timings.entropy += t0.elapsed();
+        }
+        done.push((t, result, timings));
+    }
+}
+
+/// Decodes a codestream with `workers` parallel tile pipelines.
+///
+/// Output is bit-exact with the sequential [`decode`](crate::codec::decode):
+/// tiles cover disjoint image regions, so assembling them in any order
+/// yields the same image. Per-stage [`DecodeTimings`] are summed over
+/// tiles exactly as in the sequential decoder — with `n` workers the
+/// wall-clock time is roughly `timings.total() / n`.
+///
+/// `workers == 0` selects `std::thread::available_parallelism`. A
+/// worker count exceeding the number of tiles is safe. `workers == 1`
+/// decodes on the calling thread without spawning.
+///
+/// # Errors
+///
+/// Any [`CodecError`] from parsing or entropy decoding; among several
+/// failing tiles the lowest-indexed tile's error is returned, matching
+/// the sequential decoder.
+pub fn decode_parallel(bytes: &[u8], workers: usize) -> CodecResult<DecodedImage> {
+    let dec = StagedDecoder::new(bytes)?;
+    let num_tiles = dec.num_tiles();
+    let workers = match workers {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+    .min(num_tiles.max(1));
+
+    let next = AtomicUsize::new(0);
+    let mut per_tile: Vec<(usize, CodecResult<TileSamples>, DecodeTimings)> = if workers <= 1 {
+        run_worker(&dec, &next, num_tiles)
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| scope.spawn(|| run_worker(&dec, &next, num_tiles)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    };
+
+    // Assemble deterministically in tile order; the first (lowest-tile)
+    // error wins, as in the sequential loop.
+    per_tile.sort_by_key(|&(t, _, _)| t);
+    let mut image = dec.blank_image();
+    let mut timings = DecodeTimings::default();
+    for (_, result, tile_timings) in per_tile {
+        let samples = result?;
+        dec.place_tile(&mut image, &samples);
+        timings.entropy += tile_timings.entropy;
+        timings.iq += tile_timings.iq;
+        timings.idwt += tile_timings.idwt;
+        timings.mct += tile_timings.mct;
+        timings.dc_shift += tile_timings.dc_shift;
+    }
+    Ok(DecodedImage { image, timings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode, encode, EncodeParams, Mode};
+    use crate::image::Image;
+
+    fn roundtrip_bytes(w: usize, h: usize, tile: usize, mode: Mode, seed: u64) -> Vec<u8> {
+        let img = Image::synthetic_rgb(w, h, seed);
+        encode(&img, &EncodeParams::new(mode).tile_size(tile, tile)).expect("encode")
+    }
+
+    #[test]
+    fn parallel_matches_sequential_lossless() {
+        let bytes = roundtrip_bytes(96, 64, 32, Mode::Lossless, 11);
+        let seq = decode(&bytes).expect("seq");
+        for workers in [0, 1, 2, 3, 4, 8] {
+            let par = decode_parallel(&bytes, workers).expect("par");
+            assert_eq!(par.image, seq.image, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_lossy() {
+        let bytes = roundtrip_bytes(64, 96, 16, Mode::lossy_default(), 12);
+        let seq = decode(&bytes).expect("seq");
+        let par = decode_parallel(&bytes, 4).expect("par");
+        assert_eq!(par.image, seq.image);
+    }
+
+    #[test]
+    fn more_workers_than_tiles_is_safe() {
+        // Single tile, many workers.
+        let bytes = roundtrip_bytes(24, 24, 32, Mode::Lossless, 13);
+        let par = decode_parallel(&bytes, 64).expect("par");
+        assert_eq!(par.image, decode(&bytes).expect("seq").image);
+    }
+
+    #[test]
+    fn builder_knob_is_equivalent() {
+        let bytes = roundtrip_bytes(64, 64, 32, Mode::Lossless, 14);
+        let a = ParallelDecoder::new().workers(2).decode(&bytes).expect("a");
+        let b = decode_parallel(&bytes, 2).expect("b");
+        assert_eq!(a.image, b.image);
+    }
+
+    #[test]
+    fn corrupt_stream_errors_match_sequential() {
+        let mut bytes = roundtrip_bytes(64, 64, 16, Mode::Lossless, 15);
+        // Truncate inside the tile data: both paths must reject, not panic.
+        bytes.truncate(bytes.len() / 2);
+        let seq = decode(&bytes);
+        let par = decode_parallel(&bytes, 4);
+        assert!(seq.is_err());
+        assert!(par.is_err());
+    }
+
+    #[test]
+    fn timings_are_summed_over_tiles() {
+        let bytes = roundtrip_bytes(96, 96, 32, Mode::Lossless, 16);
+        let par = decode_parallel(&bytes, 4).expect("par");
+        assert!(par.timings.total() > std::time::Duration::ZERO);
+    }
+}

@@ -313,15 +313,15 @@ pub fn encode_block_layers(
     let mut next_boundary = 0usize;
     for (i, &(pass, p, clear)) in seq.iter().enumerate() {
         match pass {
-            PassKind::Significance => {
-                enc_sig_pass(&mut mq, &mut ctxs, &mut flags, mags, negative, w, h, kind, p)
-            }
+            PassKind::Significance => enc_sig_pass(
+                &mut mq, &mut ctxs, &mut flags, mags, negative, w, h, kind, p,
+            ),
             PassKind::Refinement => {
                 enc_ref_pass(&mut mq, &mut ctxs, &mut flags, mags, negative, w, h, p)
             }
-            PassKind::Cleanup => {
-                enc_cleanup_pass(&mut mq, &mut ctxs, &mut flags, mags, negative, w, h, kind, p)
-            }
+            PassKind::Cleanup => enc_cleanup_pass(
+                &mut mq, &mut ctxs, &mut flags, mags, negative, w, h, kind, p,
+            ),
         }
         if clear {
             for f in &mut flags {
@@ -456,8 +456,7 @@ fn enc_cleanup_pass(
                         && grid.zc_context(x, sy + k, kind) == CTX_ZC
                 });
                 if rl_eligible {
-                    let first_one =
-                        (0..4).find(|&k| (mags[(sy + k) * w + x] >> p) & 1 != 0);
+                    let first_one = (0..4).find(|&k| (mags[(sy + k) * w + x] >> p) & 1 != 0);
                     match first_one {
                         None => {
                             mq.encode(&mut ctxs[CTX_RL], false);
@@ -568,13 +567,29 @@ pub fn decode_block_segments(
         }
         match pass {
             PassKind::Significance => dec_sig_pass(
-                &mut mq, &mut ctxs, &mut flags, &mut mags, &mut negative, w, h, kind, p,
+                &mut mq,
+                &mut ctxs,
+                &mut flags,
+                &mut mags,
+                &mut negative,
+                w,
+                h,
+                kind,
+                p,
             ),
-            PassKind::Refinement => {
-                dec_ref_pass(&mut mq, &mut ctxs, &mut flags, &mut mags, &negative, w, h, p)
-            }
+            PassKind::Refinement => dec_ref_pass(
+                &mut mq, &mut ctxs, &mut flags, &mut mags, &negative, w, h, p,
+            ),
             PassKind::Cleanup => dec_cleanup_pass(
-                &mut mq, &mut ctxs, &mut flags, &mut mags, &mut negative, w, h, kind, p,
+                &mut mq,
+                &mut ctxs,
+                &mut flags,
+                &mut mags,
+                &mut negative,
+                w,
+                h,
+                kind,
+                p,
             ),
         }
         if clear {
@@ -775,7 +790,13 @@ mod tests {
         }
     }
 
-    fn random_block(w: usize, h: usize, seed: u64, zero_prob: f64, max_mag: u32) -> (Vec<u32>, Vec<bool>) {
+    fn random_block(
+        w: usize,
+        h: usize,
+        seed: u64,
+        zero_prob: f64,
+        max_mag: u32,
+    ) -> (Vec<u32>, Vec<bool>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mags: Vec<u32> = (0..w * h)
             .map(|_| {
@@ -877,8 +898,7 @@ mod tests {
         let (mags, neg) = random_block(16, 16, 21, 0.5, 511);
         let reference = encode_block(&mags, &neg, 16, 16, BandKind::Lh);
         for layers in 1..=7 {
-            let (segments, mb) =
-                encode_block_layers(&mags, &neg, 16, 16, BandKind::Lh, layers);
+            let (segments, mb) = encode_block_layers(&mags, &neg, 16, 16, BandKind::Lh, layers);
             assert_eq!(mb, reference.num_bitplanes);
             let total: u32 = segments.iter().map(|s| s.num_passes).sum();
             assert_eq!(total, reference.num_passes, "{layers} layers");

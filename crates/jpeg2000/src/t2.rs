@@ -103,12 +103,9 @@ impl<'a> BitReader<'a> {
     /// [`CodecError::Truncated`] at end of data.
     pub fn get_bit(&mut self) -> CodecResult<bool> {
         if self.nbits == 0 {
-            let byte = *self
-                .data
-                .get(self.pos)
-                .ok_or(CodecError::Truncated {
-                    context: "packet header bits",
-                })?;
+            let byte = *self.data.get(self.pos).ok_or(CodecError::Truncated {
+                context: "packet header bits",
+            })?;
             self.pos += 1;
             if self.prev_ff {
                 // Skip the stuffed MSB.
@@ -307,7 +304,7 @@ impl TagTree {
         for i in path {
             if low > self.nodes[i].low {
                 self.nodes[i].low = low;
-            } 
+            }
             while threshold > self.nodes[i].low {
                 if self.nodes[i].low >= self.nodes[i].value {
                     if !self.nodes[i].known {
@@ -335,14 +332,20 @@ impl TagTree {
     /// # Errors
     ///
     /// [`CodecError::Truncated`] if the header data runs out.
-    pub fn decode(&mut self, br: &mut BitReader<'_>, x: usize, y: usize, threshold: u32) -> CodecResult<bool> {
+    pub fn decode(
+        &mut self,
+        br: &mut BitReader<'_>,
+        x: usize,
+        y: usize,
+        threshold: u32,
+    ) -> CodecResult<bool> {
         let path = self.path(x, y);
         let mut low = 0u32;
         let mut leaf = 0;
         for i in path {
             if low > self.nodes[i].low {
                 self.nodes[i].low = low;
-            } 
+            }
             while !self.nodes[i].known && threshold > self.nodes[i].low {
                 if br.get_bit()? {
                     self.nodes[i].known = true;
@@ -514,6 +517,15 @@ pub fn read_packet(
             let mut lblock = 3u32;
             while br.get_bit()? {
                 lblock += 1;
+                // The writer only ever widens the length field up to the
+                // 32 bits a block length can occupy; a longer run of 1-bits
+                // is a corrupt header, not a bigger field (and unchecked it
+                // would wrap the `as u8` width below).
+                if lblock + npass_bits > 32 {
+                    return Err(CodecError::malformed(
+                        "code-block length field wider than 32 bits",
+                    ));
+                }
             }
             let len = br.get_bits((lblock + npass_bits) as u8)? as usize;
             lengths.push(len);
@@ -532,6 +544,15 @@ pub fn read_packet(
     let mut pos = br.bytes_consumed();
     if pos > 0 && data[pos - 1] == 0xFF {
         pos += 1;
+        // A well-formed header never ends on 0xFF — the writer appends the
+        // stuffing byte before any bodies. If it is missing, the returned
+        // consumed count would point past the buffer and the caller's next
+        // packet slice would be out of bounds.
+        if pos > data.len() {
+            return Err(CodecError::Truncated {
+                context: "packet header stuffing byte",
+            });
+        }
     }
     let mut li = 0;
     for band in &mut per_band {
@@ -554,6 +575,12 @@ pub fn read_packet(
 }
 
 /// Number-of-passes code (T.800 Table B.4).
+///
+/// Encoder-side only: the Tier-1 coder emits at most `3 * KMAX - 2 = 52`
+/// passes per block, well inside the 1..=164 range this code can express,
+/// so the panic below is an internal invariant, not reachable from
+/// decoding untrusted bytes (the decode side, [`get_num_passes`], is
+/// range-limited by construction).
 fn put_num_passes(bw: &mut BitWriter, n: u32) {
     match n {
         1 => bw.put_bit(false),
@@ -638,7 +665,9 @@ mod tests {
     fn random_bit_sequences_roundtrip() {
         let mut rng = StdRng::seed_from_u64(77);
         for _ in 0..20 {
-            let bits: Vec<bool> = (0..rng.gen_range(1..300)).map(|_| rng.gen_bool(0.7)).collect();
+            let bits: Vec<bool> = (0..rng.gen_range(1..300))
+                .map(|_| rng.gen_bool(0.7))
+                .collect();
             let mut bw = BitWriter::new();
             for &b in &bits {
                 bw.put_bit(b);
@@ -824,9 +853,12 @@ mod tests {
                         }],
                     };
                     let bytes = write_packet(std::slice::from_ref(&band));
-                    let (parsed, consumed) =
-                        read_packet(&bytes, &[(1, 1)]).unwrap();
-                    assert_eq!(consumed, bytes.len(), "zbp={zbp} passes={passes} dlen={dlen}");
+                    let (parsed, consumed) = read_packet(&bytes, &[(1, 1)]).unwrap();
+                    assert_eq!(
+                        consumed,
+                        bytes.len(),
+                        "zbp={zbp} passes={passes} dlen={dlen}"
+                    );
                     assert_eq!(parsed[0][0].data, vec![0xAB; dlen]);
                     assert_eq!(parsed[0][0].zero_bitplanes, zbp);
                     // Body starts at `consumed - dlen`; the byte before it
@@ -859,5 +891,52 @@ mod tests {
         let cut = &bytes[..bytes.len() - 10];
         let err = read_packet(cut, &[(1, 1)]).unwrap_err();
         assert!(matches!(err, CodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn runaway_length_field_is_rejected() {
+        // Craft a header whose Lblock run of 1-bits never terminates: the
+        // reader must cap the field at 32 bits and report a structured
+        // error instead of widening forever (and wrapping the bit count).
+        let mut bw = BitWriter::new();
+        bw.put_bit(true); // packet non-empty
+        bw.put_bit(true); // 1×1 inclusion tree: leaf known, included
+        bw.put_bit(true); // zero-bit-plane tree: value 0
+        bw.put_bit(false); // one coding pass
+        for _ in 0..40 {
+            bw.put_bit(true); // "widen Lblock" forever
+        }
+        let bytes = bw.finish();
+        let err = read_packet(&bytes, &[(1, 1)]).unwrap_err();
+        assert!(
+            matches!(err, CodecError::Malformed { .. }),
+            "expected Malformed, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_overrun_the_packet() {
+        // Fuzz-ish sweep biased towards 0xFF (marker/stuffing edge cases):
+        // read_packet must never panic, and on success must never claim to
+        // have consumed more bytes than it was handed — the caller slices
+        // `&data[consumed..]` for the next packet.
+        let mut rng = StdRng::seed_from_u64(0x7E55);
+        for _ in 0..2000 {
+            let len = rng.gen_range(0usize..48);
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.4) {
+                        0xFF
+                    } else {
+                        rng.gen::<u8>()
+                    }
+                })
+                .collect();
+            for grids in [&[(1usize, 1usize)][..], &[(2, 2), (1, 3)][..]] {
+                if let Ok((_, consumed)) = read_packet(&data, grids) {
+                    assert!(consumed <= data.len(), "consumed {consumed} of {len}");
+                }
+            }
+        }
     }
 }

@@ -249,7 +249,15 @@ mod tests {
         assert_eq!(g.tile_rect(3).w, 4);
         // Bottom row tile is 60 - 32 = 28 tall.
         assert_eq!(g.tile_rect(4).h, 28);
-        assert_eq!(g.tile_rect(7), Rect { x0: 96, y0: 32, w: 4, h: 28 });
+        assert_eq!(
+            g.tile_rect(7),
+            Rect {
+                x0: 96,
+                y0: 32,
+                w: 4,
+                h: 28
+            }
+        );
     }
 
     #[test]

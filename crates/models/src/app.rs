@@ -146,13 +146,42 @@ pub fn run_v1(mode: ModeSel) -> Result<VersionResult, SimError> {
         Ok(())
     });
     let report = sim.run()?;
-    finish(VersionId::V1, mode, &w, &report, &metrics, &outputs, SimTime::ZERO)
+    finish(
+        VersionId::V1,
+        mode,
+        &w,
+        &report,
+        &metrics,
+        &outputs,
+        SimTime::ZERO,
+    )
 }
 
-/// Version 2 — HW/SW not parallel: the software task performs the
-/// arithmetic decoding, then a **blocking** method call on the shared
-/// object computes IQ + IDWT in hardware, then ICT + DC shift in software.
-pub fn run_v2(mode: ModeSel) -> Result<VersionResult, SimError> {
+/// The shared structure of versions 2 and 4 generalised over the
+/// pipeline count: `n_tasks` software tasks decode disjoint tile sets,
+/// sharing one blocking IQ+IDWT co-processor object. `n_tasks = 1` is
+/// version 2 ("HW/SW not parallel"), `n_tasks = 4` is version 4 ("SW
+/// parallel"); other counts are exploration points on the same axis —
+/// the design space the native [`jpeg2000::parallel`] backend mirrors
+/// with its `workers(n)` knob.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+///
+/// # Panics
+///
+/// Panics if `n_tasks` is zero or exceeds the tile count.
+pub fn run_sw_parallel(mode: ModeSel, n_tasks: usize) -> Result<VersionResult, SimError> {
+    assert!(
+        (1..=NUM_TILES).contains(&n_tasks),
+        "n_tasks must be in 1..={NUM_TILES}"
+    );
+    let version = if n_tasks == 1 {
+        VersionId::V2
+    } else {
+        VersionId::V4
+    };
     let w = workload(mode);
     let t = sw_stage_times(mode);
     let (hw_iq, hw_idwt) = (hw_iq_time(mode), hw_idwt_time(mode));
@@ -160,66 +189,23 @@ pub fn run_v2(mode: ModeSel) -> Result<VersionResult, SimError> {
     let metrics = Metrics::new();
     let outputs = Outputs::new(NUM_TILES);
     let so = SharedObject::new(&mut sim, "hwsw_so", (), Fcfs::new());
-    let dec = Arc::clone(&w.decoder);
-    let (m2, o2) = (metrics.clone(), outputs.clone());
-    let so2 = so.clone();
-    SwTask::spawn(&mut sim, "decoder_sw", move |env, ctx| {
-        for i in 0..NUM_TILES {
-            let coeffs = env.eet(ctx, t.arith, || {
-                dec.entropy_decode_tile(i).expect("entropy decode")
-            })?;
-            // Blocking co-processor call: IQ then IDWT inside the object.
-            let dec2 = Arc::clone(&dec);
-            let m3 = m2.clone();
-            let samples = so2.call(ctx, move |_, ctx| {
-                // Arbiter grant plus by-value argument/result copies
-                // (OSSS method calls serialise their arguments).
-                ctx.wait(so_arb_delay(1) + so_copy_time())?;
-                let wavelet = dec2.dequantize_tile(&coeffs);
-                ctx.wait(hw_iq)?;
-                let t0 = ctx.now();
-                let samples = dec2.idwt_tile(wavelet);
-                ctx.wait(hw_idwt)?;
-                m3.add_idwt(ctx.now() - t0);
-                ctx.wait(so_copy_time())?;
-                Ok(samples)
-            })?;
-            let samples = env.eet(ctx, t.ict, || dec.inverse_mct_tile(samples))?;
-            let samples = env.eet(ctx, t.dc, || dec.dc_unshift_tile(samples))?;
-            o2.place(i, samples);
-        }
-        Ok(())
-    });
-    let report = sim.run()?;
-    let wait = so.stats().total_arbitration_wait;
-    finish(VersionId::V2, mode, &w, &report, &metrics, &outputs, wait)
-}
-
-/// Version 4 — SW parallel (cp. 2): four software tasks decode disjoint
-/// tile sets, sharing one IQ+IDWT co-processor object.
-pub fn run_v4(mode: ModeSel) -> Result<VersionResult, SimError> {
-    let w = workload(mode);
-    let t = sw_stage_times(mode);
-    let (hw_iq, hw_idwt) = (hw_iq_time(mode), hw_idwt_time(mode));
-    let mut sim = Simulation::new();
-    let metrics = Metrics::new();
-    let outputs = Outputs::new(NUM_TILES);
-    let so = SharedObject::new(&mut sim, "hwsw_so", (), Fcfs::new());
-    for k in 0..4usize {
+    for k in 0..n_tasks {
         let dec = Arc::clone(&w.decoder);
         let (m2, o2) = (metrics.clone(), outputs.clone());
         let so2 = so.clone();
         SwTask::spawn(&mut sim, &format!("sw_task{k}"), move |env, ctx| {
-            for i in (k..NUM_TILES).step_by(4) {
+            for i in (k..NUM_TILES).step_by(n_tasks) {
                 let coeffs = env.eet(ctx, t.arith, || {
                     dec.entropy_decode_tile(i).expect("entropy decode")
                 })?;
+                // Blocking co-processor call: IQ then IDWT inside the
+                // object, with arbiter grant plus by-value
+                // argument/result copies (OSSS method calls serialise
+                // their arguments).
                 let dec2 = Arc::clone(&dec);
                 let m3 = m2.clone();
                 let samples = so2.call(ctx, move |_, ctx| {
-                    // Plain co-processor call (cp. version 2): arbiter
-                    // grant, argument copy, compute, result copy.
-                    ctx.wait(so_arb_delay(4) + so_copy_time())?;
+                    ctx.wait(so_arb_delay(n_tasks) + so_copy_time())?;
                     let wavelet = dec2.dequantize_tile(&coeffs);
                     ctx.wait(hw_iq)?;
                     let t0 = ctx.now();
@@ -238,7 +224,20 @@ pub fn run_v4(mode: ModeSel) -> Result<VersionResult, SimError> {
     }
     let report = sim.run()?;
     let wait = so.stats().total_arbitration_wait;
-    finish(VersionId::V4, mode, &w, &report, &metrics, &outputs, wait)
+    finish(version, mode, &w, &report, &metrics, &outputs, wait)
+}
+
+/// Version 2 — HW/SW not parallel: the software task performs the
+/// arithmetic decoding, then a **blocking** method call on the shared
+/// object computes IQ + IDWT in hardware, then ICT + DC shift in software.
+pub fn run_v2(mode: ModeSel) -> Result<VersionResult, SimError> {
+    run_sw_parallel(mode, 1)
+}
+
+/// Version 4 — SW parallel (cp. 2): four software tasks decode disjoint
+/// tile sets, sharing one IQ+IDWT co-processor object.
+pub fn run_v4(mode: ModeSel) -> Result<VersionResult, SimError> {
+    run_sw_parallel(mode, 4)
 }
 
 /// Shared structure of versions 3 and 5 (and, with channel/memory
@@ -265,8 +264,11 @@ pub enum ArbPolicy {
 
 impl ArbPolicy {
     /// All policies, FCFS first.
-    pub const ALL: [ArbPolicy; 3] =
-        [ArbPolicy::Fcfs, ArbPolicy::RoundRobin, ArbPolicy::StaticPriority];
+    pub const ALL: [ArbPolicy; 3] = [
+        ArbPolicy::Fcfs,
+        ArbPolicy::RoundRobin,
+        ArbPolicy::StaticPriority,
+    ];
 
     fn arbiter(self) -> Box<dyn Arbiter> {
         match self {
@@ -287,7 +289,10 @@ impl std::fmt::Display for ArbPolicy {
     }
 }
 
-pub(crate) fn run_pipeline_app(mode: ModeSel, cfg: PipelineModel) -> Result<VersionResult, SimError> {
+pub(crate) fn run_pipeline_app(
+    mode: ModeSel,
+    cfg: PipelineModel,
+) -> Result<VersionResult, SimError> {
     let w = workload(mode);
     let t = sw_stage_times(mode);
     let (hw_iq, hw_idwt) = (hw_iq_time(mode), hw_idwt_time(mode));
@@ -300,7 +305,12 @@ pub(crate) fn run_pipeline_app(mode: ModeSel, cfg: PipelineModel) -> Result<Vers
     let metrics = Metrics::new();
     let outputs = Outputs::new(NUM_TILES);
     let hwsw = SharedObject::new(&mut sim, "hwsw_so", HwSwState::new(2), cfg.policy.arbiter());
-    let params = SharedObject::new(&mut sim, "idwt_params_so", ParamsState::default(), Fcfs::new());
+    let params = SharedObject::new(
+        &mut sim,
+        "idwt_params_so",
+        ParamsState::default(),
+        Fcfs::new(),
+    );
 
     // Software tasks: arithmetic decoding + tile hand-off, then pick-up,
     // ICT and DC shift for their own tiles.
@@ -350,35 +360,33 @@ pub(crate) fn run_pipeline_app(mode: ModeSel, cfg: PipelineModel) -> Result<Vers
         let dec = Arc::clone(&w.decoder);
         let hwsw = hwsw.clone();
         let params = params.clone();
-        sim.spawn_process("idwt2d_ctrl", move |ctx| {
-            loop {
-                let i = hwsw.call_guarded(
-                    ctx,
-                    |s| !s.pending.is_empty(),
-                    |s, ctx| {
-                        ctx.wait(hwsw_arb + copy)?;
-                        let (i, coeffs) = s.pending.pop_front().expect("guard held");
-                        let wavelet = dec.dequantize_tile(&coeffs);
-                        ctx.wait(hw_iq)?;
-                        s.wavelets.insert(i, wavelet);
-                        Ok(i)
-                    },
-                )?;
-                params.call(ctx, |p, ctx| {
+        sim.spawn_process("idwt2d_ctrl", move |ctx| loop {
+            let i = hwsw.call_guarded(
+                ctx,
+                |s| !s.pending.is_empty(),
+                |s, ctx| {
+                    ctx.wait(hwsw_arb + copy)?;
+                    let (i, coeffs) = s.pending.pop_front().expect("guard held");
+                    let wavelet = dec.dequantize_tile(&coeffs);
+                    ctx.wait(hw_iq)?;
+                    s.wavelets.insert(i, wavelet);
+                    Ok(i)
+                },
+            )?;
+            params.call(ctx, |p, ctx| {
+                ctx.wait(params_arb)?;
+                p.request = Some(i);
+                Ok(())
+            })?;
+            params.call_guarded(
+                ctx,
+                move |p| p.response == Some(i),
+                |p, ctx| {
                     ctx.wait(params_arb)?;
-                    p.request = Some(i);
+                    p.response = None;
                     Ok(())
-                })?;
-                params.call_guarded(
-                    ctx,
-                    move |p| p.response == Some(i),
-                    |p, ctx| {
-                        ctx.wait(params_arb)?;
-                        p.response = None;
-                        Ok(())
-                    },
-                )?;
-            }
+                },
+            )?;
         });
     }
 
@@ -442,17 +450,60 @@ pub(crate) fn run_pipeline_app(mode: ModeSel, cfg: PipelineModel) -> Result<Vers
     finish(cfg.version, mode, &w, &report, &metrics, &outputs, wait)
 }
 
-/// Version 3 — HW/SW parallel: one software task plus the three-block
-/// hardware pipeline.
-pub fn run_v3(mode: ModeSel) -> Result<VersionResult, SimError> {
+/// The shared structure of versions 3 and 5 generalised over the
+/// pipeline count: `n_sw_tasks` software pipelines feed the three-block
+/// IDWT hardware pipeline through the HW/SW shared object. `n_sw_tasks
+/// = 1` is version 3, `n_sw_tasks = 4` is version 5; other counts are
+/// exploration points on the same axis.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+///
+/// # Panics
+///
+/// Panics if `n_sw_tasks` is zero or exceeds the tile count.
+pub fn run_hw_sw_parallel(mode: ModeSel, n_sw_tasks: usize) -> Result<VersionResult, SimError> {
+    assert!(
+        (1..=NUM_TILES).contains(&n_sw_tasks),
+        "n_sw_tasks must be in 1..={NUM_TILES}"
+    );
     run_pipeline_app(
         mode,
         PipelineModel {
-            n_sw_tasks: 1,
-            version: VersionId::V3,
+            n_sw_tasks,
+            version: if n_sw_tasks == 1 {
+                VersionId::V3
+            } else {
+                VersionId::V5
+            },
             policy: ArbPolicy::Fcfs,
         },
     )
+}
+
+/// Runs the version 2↔4 axis (blocking co-processor, `n` software
+/// pipelines) for each count in `counts` — the Application-Layer
+/// scaling curve that the native tile-parallel backend's `workers(n)`
+/// knob mirrors in real execution.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn sw_scaling_curve(
+    mode: ModeSel,
+    counts: &[usize],
+) -> Result<Vec<(usize, VersionResult)>, SimError> {
+    counts
+        .iter()
+        .map(|&n| run_sw_parallel(mode, n).map(|r| (n, r)))
+        .collect()
+}
+
+/// Version 3 — HW/SW parallel: one software task plus the three-block
+/// hardware pipeline.
+pub fn run_v3(mode: ModeSel) -> Result<VersionResult, SimError> {
+    run_hw_sw_parallel(mode, 1)
 }
 
 /// Version 5 — SW & HW/SW parallel: four software tasks plus the
@@ -472,6 +523,66 @@ pub fn run_v5_with_policy(mode: ModeSel, policy: ArbPolicy) -> Result<VersionRes
             policy,
         },
     )
+}
+
+#[cfg(test)]
+mod scaling_tests {
+    use super::*;
+
+    #[test]
+    fn sw_pipeline_count_scales_decode_time() {
+        for mode in ModeSel::ALL {
+            let curve = sw_scaling_curve(mode, &[1, 2, 4]).expect("curve");
+            for (n, r) in &curve {
+                assert!(r.functional_ok, "{mode}: {n} pipelines output mismatch");
+            }
+            assert!(
+                curve[0].1.decode_time > curve[1].1.decode_time
+                    && curve[1].1.decode_time > curve[2].1.decode_time,
+                "{mode}: decode time must fall with pipeline count: {:?}",
+                curve
+                    .iter()
+                    .map(|(n, r)| (*n, r.decode_time))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn two_pipelines_land_between_v2_and_v4() {
+        let mode = ModeSel::Lossless;
+        let v2 = run_sw_parallel(mode, 1).expect("v2");
+        let mid = run_sw_parallel(mode, 2).expect("n=2");
+        let v4 = run_sw_parallel(mode, 4).expect("v4");
+        assert_eq!(mid.version, VersionId::V4);
+        assert!(v4.decode_time < mid.decode_time && mid.decode_time < v2.decode_time);
+    }
+
+    #[test]
+    fn hw_pipeline_variant_scales_too() {
+        let mode = ModeSel::Lossy;
+        let one = run_hw_sw_parallel(mode, 1).expect("n=1");
+        let two = run_hw_sw_parallel(mode, 2).expect("n=2");
+        let four = run_hw_sw_parallel(mode, 4).expect("n=4");
+        assert!(one.functional_ok && two.functional_ok && four.functional_ok);
+        assert!(two.decode_time < one.decode_time);
+        assert!(four.decode_time < two.decode_time);
+    }
+
+    #[test]
+    fn native_parallel_backend_reproduces_model_reference() {
+        // The design space the models explore in simulated time, the
+        // native backend executes for real: same codestream, same
+        // reference image, for 1, 2 and 4 pipelines.
+        for mode in ModeSel::ALL {
+            let w = workload(mode);
+            for n in [1usize, 2, 4] {
+                let out =
+                    jpeg2000::parallel::decode_parallel(&w.codestream, n).expect("parallel decode");
+                assert_eq!(out.image, *w.reference, "{mode}: {n} workers");
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -495,7 +606,10 @@ mod tests {
 
     #[test]
     fn v2_speedup_is_about_10_19_percent() {
-        for (mode, lo, hi) in [(ModeSel::Lossless, 1.05, 1.15), (ModeSel::Lossy, 1.12, 1.25)] {
+        for (mode, lo, hi) in [
+            (ModeSel::Lossless, 1.05, 1.15),
+            (ModeSel::Lossy, 1.12, 1.25),
+        ] {
             let v1 = run_v1(mode).expect("v1");
             let v2 = run_v2(mode).expect("v2");
             assert!(v2.functional_ok);
@@ -560,7 +674,10 @@ mod tests {
     #[test]
     fn all_app_versions_are_functionally_correct_lossy() {
         for (v, f) in [
-            (VersionId::V1, run_v1 as fn(ModeSel) -> Result<VersionResult, SimError>),
+            (
+                VersionId::V1,
+                run_v1 as fn(ModeSel) -> Result<VersionResult, SimError>,
+            ),
             (VersionId::V2, run_v2),
             (VersionId::V3, run_v3),
             (VersionId::V4, run_v4),

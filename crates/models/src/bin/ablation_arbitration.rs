@@ -17,7 +17,10 @@ fn main() {
     for policy in ArbPolicy::ALL {
         let ll = run_v5_with_policy(ModeSel::Lossless, policy).expect("run");
         let lo = run_v5_with_policy(ModeSel::Lossy, policy).expect("run");
-        assert!(ll.functional_ok && lo.functional_ok, "{policy} broke the output");
+        assert!(
+            ll.functional_ok && lo.functional_ok,
+            "{policy} broke the output"
+        );
         println!(
             "{:<18} {:>14.1} {:>14.1} {:>16.2} {:>16.2}",
             policy.to_string(),
@@ -40,5 +43,8 @@ fn main() {
         max - min,
         (max - min) / min * 100.0
     );
-    assert!((max - min) / min < 0.02, "policy choice should be second-order");
+    assert!(
+        (max - min) / min < 0.02,
+        "policy choice should be second-order"
+    );
 }

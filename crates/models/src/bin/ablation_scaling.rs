@@ -45,10 +45,16 @@ fn main() {
         ratios.windows(2).all(|w| w[0] <= w[1] + 1e-9),
         "bus penalty should grow with parallelism: {ratios:?}"
     );
-    assert!(ratios.last().unwrap() > &1.5, "8-way penalty pronounced: {ratios:?}");
+    assert!(
+        ratios.last().unwrap() > &1.5,
+        "8-way penalty pronounced: {ratios:?}"
+    );
     let (min, max) = (
         p2p_idwt.iter().cloned().fold(f64::INFINITY, f64::min),
         p2p_idwt.iter().cloned().fold(0.0, f64::max),
     );
-    assert!(max / min < 1.02, "P2P IDWT flat across parallelism: {p2p_idwt:?}");
+    assert!(
+        max / min < 1.02,
+        "P2P IDWT flat across parallelism: {p2p_idwt:?}"
+    );
 }

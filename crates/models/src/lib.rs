@@ -34,7 +34,9 @@
 //! ```
 
 mod app;
-pub use app::{run_v5_with_policy, ArbPolicy};
+pub use app::{
+    run_hw_sw_parallel, run_sw_parallel, run_v5_with_policy, sw_scaling_curve, ArbPolicy,
+};
 pub mod profile;
 pub mod report;
 pub mod synth;
@@ -198,11 +200,7 @@ pub fn run_version(version: VersionId, mode: ModeSel) -> Result<VersionResult, S
 /// # Panics
 ///
 /// Panics if `n_sw_tasks` is zero or exceeds the tile count.
-pub fn run_scaling(
-    mode: ModeSel,
-    n_sw_tasks: usize,
-    p2p: bool,
-) -> Result<VersionResult, SimError> {
+pub fn run_scaling(mode: ModeSel, n_sw_tasks: usize, p2p: bool) -> Result<VersionResult, SimError> {
     assert!(
         (1..=timing::NUM_TILES).contains(&n_sw_tasks),
         "1..=16 software tasks"

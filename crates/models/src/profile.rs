@@ -71,11 +71,7 @@ mod tests {
     fn entropy_decoder_dominates_both_modes() {
         for mode in ModeSel::ALL {
             let p = profile(mode, 64);
-            assert!(
-                p.entropy_dominates(),
-                "{mode}: measured {:?}",
-                p.measured
-            );
+            assert!(p.entropy_dominates(), "{mode}: measured {:?}", p.measured);
         }
     }
 }

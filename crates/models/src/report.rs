@@ -85,8 +85,7 @@ pub fn check_table1_shape(results: &[VersionResult]) -> Vec<ShapeCheck> {
                 v4.decode_time.as_ms_f64(),
                 v5.decode_time.as_ms_f64()
             ),
-            v5.decode_time > v4.decode_time
-                && ratio(v5.decode_time, v4.decode_time) < 1.25,
+            v5.decode_time > v4.decode_time && ratio(v5.decode_time, v4.decode_time) < 1.25,
         );
     }
     if let (Some(v3), Some(v6a), Some(v6b)) = (
@@ -199,7 +198,10 @@ pub fn format_table1(results: &[VersionResult]) -> String {
 /// Renders Table 2 in the paper's layout.
 pub fn format_table2(rows: &[SynthesisRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 2 — RTL synthesis results of the IDWT (Virtex-4 LX25)");
+    let _ = writeln!(
+        out,
+        "Table 2 — RTL synthesis results of the IDWT (Virtex-4 LX25)"
+    );
     let _ = writeln!(
         out,
         "{:<28} {:>12} {:>12} {:>12} {:>12}",
@@ -214,14 +216,19 @@ pub fn format_table2(rows: &[SynthesisRow]) -> String {
     let lines: Vec<(&str, Vec<String>)> = vec![
         (
             "Slice flip-flops",
-            cell(&|r, fossy| {
-                format!("{}", if fossy { r.fossy.ffs } else { r.reference.ffs })
-            }),
+            cell(&|r, fossy| format!("{}", if fossy { r.fossy.ffs } else { r.reference.ffs })),
         ),
         (
             "4-input LUTs",
             cell(&|r, fossy| {
-                format!("{}", if fossy { r.fossy.luts } else { r.reference.luts })
+                format!(
+                    "{}",
+                    if fossy {
+                        r.fossy.luts
+                    } else {
+                        r.reference.luts
+                    }
+                )
             }),
         ),
         (
@@ -229,7 +236,11 @@ pub fn format_table2(rows: &[SynthesisRow]) -> String {
             cell(&|r, fossy| {
                 format!(
                     "{}",
-                    if fossy { r.fossy.slices } else { r.reference.slices }
+                    if fossy {
+                        r.fossy.slices
+                    } else {
+                        r.reference.slices
+                    }
                 )
             }),
         ),
@@ -238,7 +249,11 @@ pub fn format_table2(rows: &[SynthesisRow]) -> String {
             cell(&|r, fossy| {
                 format!(
                     "{}",
-                    if fossy { r.fossy.gates } else { r.reference.gates }
+                    if fossy {
+                        r.fossy.gates
+                    } else {
+                        r.reference.gates
+                    }
                 )
             }),
         ),
@@ -260,7 +275,11 @@ pub fn format_table2(rows: &[SynthesisRow]) -> String {
             cell(&|r, fossy| {
                 format!(
                     "{}",
-                    if fossy { r.generated_loc } else { r.reference_loc }
+                    if fossy {
+                        r.generated_loc
+                    } else {
+                        r.reference_loc
+                    }
                 )
             }),
         ),
@@ -315,15 +334,17 @@ mod tests {
     fn formatting_includes_all_versions() {
         let results: Vec<VersionResult> = VersionId::ALL
             .iter()
-            .flat_map(|&v| {
-                ModeSel::ALL
-                    .iter()
-                    .map(move |&m| fake(v, m, 1000, 100))
-            })
+            .flat_map(|&v| ModeSel::ALL.iter().map(move |&m| fake(v, m, 1000, 100)))
             .collect();
         let text = format_table1(&results);
         for v in VersionId::ALL {
-            assert!(text.contains(&format!("\n{v} ")) || text.starts_with(&format!("{v} ")) || text.contains(&format!("{v}  ")) || text.contains(v.description()), "{v} missing");
+            assert!(
+                text.contains(&format!("\n{v} "))
+                    || text.starts_with(&format!("{v} "))
+                    || text.contains(&format!("{v}  "))
+                    || text.contains(v.description()),
+                "{v} missing"
+            );
         }
         assert!(text.contains("Virtual Target Architecture"));
     }
@@ -349,7 +370,11 @@ mod tests {
         let checks = check_table1_shape(&results);
         assert!(checks.len() >= 7);
         for c in &checks {
-            assert!(c.pass, "{}: paper `{}` measured `{}`", c.name, c.paper, c.measured);
+            assert!(
+                c.pass,
+                "{}: paper `{}` measured `{}`",
+                c.name, c.paper, c.measured
+            );
         }
     }
 

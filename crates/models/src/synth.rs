@@ -30,12 +30,19 @@ pub fn table2() -> Vec<SynthesisRow> {
     let device = Virtex4::lx25();
     let mut rows = Vec::with_capacity(2);
     for (design, input, reference) in [
-        ("IDWT53", idwt::idwt53_fossy_input(), idwt::idwt53_reference()),
-        ("IDWT97", idwt::idwt97_fossy_input(), idwt::idwt97_reference()),
+        (
+            "IDWT53",
+            idwt::idwt53_fossy_input(),
+            idwt::idwt53_reference(),
+        ),
+        (
+            "IDWT97",
+            idwt::idwt97_fossy_input(),
+            idwt::idwt97_reference(),
+        ),
     ] {
         let synthesised = inline_entity(&input);
-        let generated =
-            vhdl::emit_entity_styled(&synthesised, vhdl::Style::ThreeAddress);
+        let generated = vhdl::emit_entity_styled(&synthesised, vhdl::Style::ThreeAddress);
         vhdl::structural_check(&generated).expect("generated VHDL is sound");
         let reference_code = vhdl::emit_entity(&reference);
         vhdl::structural_check(&reference_code).expect("reference VHDL is sound");

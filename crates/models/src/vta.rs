@@ -106,7 +106,12 @@ pub(crate) fn run_vta(mode: ModeSel, cfg: VtaConfig) -> Result<VersionResult, Si
     // Architecture resources.
     let bus = Arc::new(OpbBus::new(&mut sim, "opb", BusConfig::opb_100mhz()));
     let hwsw = SharedObject::new(&mut sim, "hwsw_so", HwSwState::new(2), Fcfs::new());
-    let params = SharedObject::new(&mut sim, "idwt_params_so", ParamsState::default(), Fcfs::new());
+    let params = SharedObject::new(
+        &mut sim,
+        "idwt_params_so",
+        ParamsState::default(),
+        Fcfs::new(),
+    );
     let bram = XilinxBlockRam::<i16>::new(&mut sim, "tile_bram", 2 * 65_536, clk);
 
     // RMI bindings. Software side always crosses the OPB bus.
@@ -268,7 +273,12 @@ mod tests {
 
     #[test]
     fn vta_models_are_functionally_correct() {
-        for v in [VersionId::V6a, VersionId::V6b, VersionId::V7a, VersionId::V7b] {
+        for v in [
+            VersionId::V6a,
+            VersionId::V6b,
+            VersionId::V7a,
+            VersionId::V7b,
+        ] {
             let r = run_version(v, ModeSel::Lossless).expect("run");
             assert!(r.functional_ok, "{v} output mismatch");
         }
@@ -289,7 +299,10 @@ mod tests {
 
     #[test]
     fn bus_only_mapping_is_slower_for_idwt_than_p2p() {
-        for (va, vb) in [(VersionId::V6a, VersionId::V6b), (VersionId::V7a, VersionId::V7b)] {
+        for (va, vb) in [
+            (VersionId::V6a, VersionId::V6b),
+            (VersionId::V7a, VersionId::V7b),
+        ] {
             let a = run_version(va, ModeSel::Lossless).expect("a");
             let b = run_version(vb, ModeSel::Lossless).expect("b");
             assert!(

@@ -48,7 +48,11 @@ impl fmt::Display for SimError {
             }
             SimError::Model(msg) => write!(f, "model error: {msg}"),
             SimError::Deadlock { blocked } => {
-                write!(f, "deadlock: processes still blocked: {}", blocked.join(", "))
+                write!(
+                    f,
+                    "deadlock: processes still blocked: {}",
+                    blocked.join(", ")
+                )
             }
         }
     }
@@ -68,7 +72,10 @@ mod tests {
             message: "boom".into(),
         };
         assert_eq!(e.to_string(), "process `p0` panicked: boom");
-        assert_eq!(SimError::model("bad tile").to_string(), "model error: bad tile");
+        assert_eq!(
+            SimError::model("bad tile").to_string(),
+            "model error: bad tile"
+        );
         let d = SimError::Deadlock {
             blocked: vec!["a".into(), "b".into()],
         };

@@ -805,7 +805,10 @@ mod tests {
             assert_eq!(winner, b.id());
             Ok(())
         });
-        sim.run().expect("run").expect_all_finished().expect("all done");
+        sim.run()
+            .expect("run")
+            .expect_all_finished()
+            .expect("all done");
         drop(a);
     }
 

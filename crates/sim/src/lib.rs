@@ -44,8 +44,8 @@ mod error;
 mod event;
 mod kernel;
 pub mod prim;
-pub mod trace;
 mod time;
+pub mod trace;
 
 pub use context::Context;
 pub use error::{SimError, SimResult};

@@ -114,11 +114,7 @@ impl SimMutex {
     /// Panics if the calling process does not hold the lock.
     pub fn unlock(&self, ctx: &Context) {
         let mut owner = self.inner.owner.lock();
-        assert_eq!(
-            *owner,
-            Some(ctx.pid()),
-            "SimMutex unlocked by a non-owner"
-        );
+        assert_eq!(*owner, Some(ctx.pid()), "SimMutex unlocked by a non-owner");
         *owner = None;
         ctx.notify(&self.inner.released);
     }
@@ -128,11 +124,7 @@ impl SimMutex {
     /// # Errors
     ///
     /// Propagates errors from `lock` and from `f`.
-    pub fn with<R>(
-        &self,
-        ctx: &Context,
-        f: impl FnOnce(&Context) -> SimResult<R>,
-    ) -> SimResult<R> {
+    pub fn with<R>(&self, ctx: &Context, f: impl FnOnce(&Context) -> SimResult<R>) -> SimResult<R> {
         self.lock(ctx)?;
         let out = f(ctx);
         self.unlock(ctx);

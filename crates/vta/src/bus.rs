@@ -86,9 +86,9 @@ impl OpbBus {
 
     /// The duration of a `words`-word transfer excluding arbitration wait.
     pub fn transfer_time(&self, words: usize) -> SimTime {
-        self.config.freq.cycles(
-            self.config.arbitration_cycles + self.config.cycles_per_word * words as u64,
-        )
+        self.config
+            .freq
+            .cycles(self.config.arbitration_cycles + self.config.cycles_per_word * words as u64)
     }
 }
 

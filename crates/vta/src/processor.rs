@@ -193,8 +193,7 @@ mod tests {
     fn tasks_on_different_processors_run_in_parallel() {
         let mut sim = Simulation::new();
         for i in 0..4 {
-            let cpu =
-                SoftwareProcessor::new(&mut sim, &format!("cpu{i}"), Frequency::mhz(100));
+            let cpu = SoftwareProcessor::new(&mut sim, &format!("cpu{i}"), Frequency::mhz(100));
             let env = cpu.env("t");
             sim.spawn_process(&format!("t{i}"), move |ctx| {
                 env.eet(ctx, SimTime::ms(3), || ())

@@ -241,9 +241,8 @@ mod tests {
             Arc::new(P2pChannel::new(&mut sim, "link", Frequency::mhz(100)));
         let svc_c = RmiService::new(so.clone(), Arc::clone(&link));
         sim.spawn_process("consumer", move |ctx| {
-            let v = svc_c.invoke_guarded(ctx, &(), &0i32, |q| !q.is_empty(), |q, _| {
-                Ok(q.remove(0))
-            })?;
+            let v =
+                svc_c.invoke_guarded(ctx, &(), &0i32, |q| !q.is_empty(), |q, _| Ok(q.remove(0)))?;
             assert_eq!(v, 5);
             Ok(())
         });

@@ -5,9 +5,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 use osss_sim::{Frequency, SimTime, Simulation};
-use osss_vta::{
-    BusConfig, Channel, Deserialise, OpbBus, P2pChannel, Serialise, SoftwareProcessor,
-};
+use osss_vta::{BusConfig, Channel, Deserialise, OpbBus, P2pChannel, Serialise, SoftwareProcessor};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

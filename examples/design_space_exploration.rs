@@ -34,7 +34,11 @@ fn main() {
             dec,
             speedup,
             r.idwt_time.as_ms_f64(),
-            if r.functional_ok { "output ok" } else { "MISMATCH" }
+            if r.functional_ok {
+                "output ok"
+            } else {
+                "MISMATCH"
+            }
         );
     }
     println!();
@@ -47,7 +51,11 @@ fn main() {
             v.description(),
             r.decode_time.as_ms_f64(),
             r.idwt_time.as_ms_f64(),
-            if r.functional_ok { "output ok" } else { "MISMATCH" }
+            if r.functional_ok {
+                "output ok"
+            } else {
+                "MISMATCH"
+            }
         );
     }
     println!();

@@ -44,3 +44,21 @@ pub use jpeg2000_models as models;
 pub use osss_core as osss;
 pub use osss_sim as sim;
 pub use osss_vta as vta;
+
+pub use jpeg2000::parallel::{decode_parallel, ParallelDecoder};
+
+/// Decodes a codestream with the tile-parallel backend, `n` worker
+/// pipelines (`0` = automatic). Bit-exact with
+/// [`jpeg2000::codec::decode`]; see [`jpeg2000::parallel`] for how the
+/// worker count mirrors the paper's model versions 2–5.
+///
+/// # Errors
+///
+/// Any [`jpeg2000::error::CodecError`] from parsing or entropy
+/// decoding.
+pub fn decode_workers(
+    bytes: &[u8],
+    n: usize,
+) -> Result<jpeg2000::codec::DecodedImage, jpeg2000::error::CodecError> {
+    ParallelDecoder::new().workers(n).decode(bytes)
+}

@@ -28,16 +28,14 @@ fn lossless_roundtrips_bit_exactly_across_geometries() {
 #[test]
 fn staged_decode_tile_order_is_irrelevant() {
     let img = Image::synthetic_rgb(64, 64, 5);
-    let bytes =
-        encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(32, 32)).expect("encode");
+    let bytes = encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(32, 32)).expect("encode");
     let dec = StagedDecoder::new(&bytes).expect("parse");
     let mut out = dec.blank_image();
     // Decode tiles in reverse order — each tile is independent.
     for t in (0..dec.num_tiles()).rev() {
         let coeffs = dec.entropy_decode_tile(t).expect("entropy");
-        let samples = dec.dc_unshift_tile(
-            dec.inverse_mct_tile(dec.idwt_tile(dec.dequantize_tile(&coeffs))),
-        );
+        let samples =
+            dec.dc_unshift_tile(dec.inverse_mct_tile(dec.idwt_tile(dec.dequantize_tile(&coeffs))));
         dec.place_tile(&mut out, &samples);
     }
     assert_eq!(out, img);
@@ -70,6 +68,27 @@ fn corrupted_markers_are_rejected_not_panicking() {
 }
 
 #[test]
+fn absurd_siz_dimensions_are_rejected_before_allocation() {
+    // A crafted SIZ can claim a u32::MAX × u32::MAX image; the decoder
+    // must refuse with a structured error instead of attempting the
+    // multi-exabyte plane allocation (which would abort the process).
+    let img = Image::synthetic_grey(32, 32, 7);
+    let mut bytes = encode(&img, &EncodeParams::new(Mode::Lossless)).expect("encode");
+    // SIZ layout: SOC(2) SIZ-marker(2) len(2) width(4) height(4) ...
+    bytes[6..10].copy_from_slice(&u32::MAX.to_be_bytes());
+    bytes[10..14].copy_from_slice(&u32::MAX.to_be_bytes());
+    match decode(&bytes) {
+        Err(CodecError::Malformed { detail }) => {
+            assert!(
+                detail.contains("decoder limit"),
+                "unexpected detail: {detail}"
+            )
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
 fn zero_bitplane_consistency_is_enforced() {
     // A decoder invariant check: tamper with single bytes anywhere in the
     // stream; structural errors must be *reported*, never panicked, and
@@ -89,7 +108,10 @@ fn zero_bitplane_consistency_is_enforced() {
             _ => {}
         }
     }
-    assert!(tripped, "no corruption was ever detected in the whole stream");
+    assert!(
+        tripped,
+        "no corruption was ever detected in the whole stream"
+    );
 }
 
 #[test]
@@ -98,8 +120,8 @@ fn lossy_quality_scales_monotonically_with_step() {
     let mut last_psnr = f64::INFINITY;
     let mut last_size = usize::MAX;
     for step in [0.125, 0.5, 2.0, 8.0] {
-        let bytes = encode(&img, &EncodeParams::new(Mode::Lossy { base_step: step }))
-            .expect("encode");
+        let bytes =
+            encode(&img, &EncodeParams::new(Mode::Lossy { base_step: step })).expect("encode");
         let out = decode(&bytes).expect("decode");
         let psnr = img.psnr(&out.image);
         assert!(

@@ -74,7 +74,10 @@ fn scaling_ablation_shows_7b_scales_better() {
     let b8 = run_scaling(ModeSel::Lossless, 8, true).expect("8-way p2p");
     assert!(a8.idwt_time > a2.idwt_time, "bus penalty grows with CPUs");
     let p2p_drift = b8.idwt_time.as_ms_f64() / b2.idwt_time.as_ms_f64();
-    assert!((0.99..=1.01).contains(&p2p_drift), "P2P IDWT flat: {p2p_drift}");
+    assert!(
+        (0.99..=1.01).contains(&p2p_drift),
+        "P2P IDWT flat: {p2p_drift}"
+    );
     assert!(b8.decode_time < a8.decode_time, "7b wins at 8-way");
 }
 

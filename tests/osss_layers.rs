@@ -10,9 +10,7 @@ use std::sync::Arc;
 
 use osss_jpeg2000::osss::{sched::Fcfs, SharedObject, TaskEnv};
 use osss_jpeg2000::sim::{Frequency, SimError, SimTime, Simulation};
-use osss_jpeg2000::vta::{
-    BusConfig, Channel, OpbBus, P2pChannel, RmiService, SoftwareProcessor,
-};
+use osss_jpeg2000::vta::{BusConfig, Channel, OpbBus, P2pChannel, RmiService, SoftwareProcessor};
 
 const BLOCKS: usize = 8;
 
@@ -42,8 +40,7 @@ fn run(mapping: Mapping) -> Result<(SimTime, Vec<i64>), SimError> {
         }
         Mapping::VtaP2p => {
             let cpu = SoftwareProcessor::new(&mut sim, "cpu", clk);
-            let link: Arc<dyn Channel> =
-                Arc::new(P2pChannel::new(&mut sim, "link", clk));
+            let link: Arc<dyn Channel> = Arc::new(P2pChannel::new(&mut sim, "link", clk));
             (cpu.env("producer"), Some(RmiService::new(so.clone(), link)))
         }
     };
@@ -117,7 +114,9 @@ fn multi_client_arbitration_preserves_every_item() {
     sim.run().expect("run").expect_all_finished().expect("done");
     let mut got = so.inspect(|v| v.clone());
     got.sort();
-    let mut want: Vec<u32> = (0..4).flat_map(|k| (0..8).map(move |j| k * 100 + j)).collect();
+    let mut want: Vec<u32> = (0..4)
+        .flat_map(|k| (0..8).map(move |j| k * 100 + j))
+        .collect();
     want.sort();
     assert_eq!(got, want);
     // Exclusive 3 us sections: exactly 32 × 3 us of busy time.

@@ -72,8 +72,18 @@ fn vhdl_and_systemc_views_agree_on_interface() {
         let v = vhdl::emit_entity(&ent);
         let s = systemc::emit_entity(&ent);
         for port in &ent.ports {
-            assert!(v.contains(&port.name), "{}: VHDL lost {}", ent.name, port.name);
-            assert!(s.contains(&port.name), "{}: SystemC lost {}", ent.name, port.name);
+            assert!(
+                v.contains(&port.name),
+                "{}: VHDL lost {}",
+                ent.name,
+                port.name
+            );
+            assert!(
+                s.contains(&port.name),
+                "{}: SystemC lost {}",
+                ent.name,
+                port.name
+            );
         }
         assert!(loc(&v) > 20 && loc(&s) > 20);
     }
