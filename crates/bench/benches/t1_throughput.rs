@@ -1,0 +1,180 @@
+//! The Tier-1 fast-path benchmark: flags-lattice kernel vs the retained
+//! reference implementation, per-tile entropy decode on the Table-1
+//! workload, and end-to-end decode throughput.
+//!
+//! Unlike the criterion-based benches this one writes its results to
+//! `BENCH_decode.json` at the repository root — the machine-readable
+//! trajectory future PRs compare against. The `baseline_pre_pr` block
+//! holds the numbers measured on this machine immediately before the
+//! flags-lattice rewrite (PR 2), so the recorded speedups are
+//! like-for-like.
+//!
+//! Modes: `--test` (how `cargo test --benches` invokes bench targets) or
+//! `BENCH_QUICK=1` run a reduced smoke pass and skip the JSON write, so
+//! CI never clobbers the recorded trajectory with noisy quick numbers.
+
+use std::time::Instant;
+
+use jpeg2000::codec::{decode, StagedDecoder};
+use jpeg2000::scratch::DecodeScratch;
+use jpeg2000::t1::{decode_block, encode_block, reference};
+use jpeg2000::tile::BandKind;
+use jpeg2000_models::workload::workload;
+use jpeg2000_models::ModeSel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Pre-PR Tier-1 kernel time (64×64 HL block, min-of-samples), ns.
+const BASELINE_KERNEL_NS: u64 = 1_490_728;
+/// Pre-PR per-tile entropy decode on the Table-1 workload, ns.
+const BASELINE_ENTROPY_NS: [(&str, u64); 2] = [("lossless", 729_004), ("lossy", 795_882)];
+/// Pre-PR end-to-end decode of the Table-1 workload (best-of-20), ns.
+const BASELINE_DECODE_NS: [(&str, u64); 2] = [("lossless", 12_371_732), ("lossy", 14_835_234)];
+
+/// Best-of-`samples` wall-clock of `f`, in ns. Min (not mean) because a
+/// 1-CPU container's scheduler noise only ever adds time.
+fn best_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--test") || std::env::var_os("BENCH_QUICK").is_some();
+    let (warmup, samples) = if quick { (1, 2) } else { (5, 30) };
+
+    // --- Kernel: 64×64 HL code-block, same data as codec_kernels.rs ---
+    let (w, h) = (64usize, 64usize);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mags: Vec<u32> = (0..w * h)
+        .map(|_| {
+            if rng.gen_bool(0.3) {
+                rng.gen_range(1..512)
+            } else {
+                0
+            }
+        })
+        .collect();
+    let negative: Vec<bool> = (0..w * h).map(|_| rng.gen_bool(0.5)).collect();
+    let enc = encode_block(&mags, &negative, w, h, BandKind::Hl);
+    let check = decode_block(&enc.data, w, h, BandKind::Hl, enc.num_passes);
+    assert_eq!(
+        check,
+        reference::decode_block(&enc.data, w, h, BandKind::Hl, enc.num_passes),
+        "fast path must match the reference before being timed"
+    );
+
+    for _ in 0..warmup {
+        let _ = decode_block(&enc.data, w, h, BandKind::Hl, enc.num_passes);
+    }
+    let opt_ns = best_ns(samples, || {
+        let _ = decode_block(&enc.data, w, h, BandKind::Hl, enc.num_passes);
+    });
+    let ref_ns = best_ns(samples, || {
+        let _ = reference::decode_block(&enc.data, w, h, BandKind::Hl, enc.num_passes);
+    });
+    let samples_per_sec = (w * h) as f64 / (opt_ns as f64 / 1e9);
+    println!(
+        "t1 kernel 64x64 HL: optimized {opt_ns} ns, reference {ref_ns} ns \
+         ({:.2}x vs in-tree reference, {:.2}x vs pre-PR {BASELINE_KERNEL_NS} ns)",
+        ref_ns as f64 / opt_ns as f64,
+        BASELINE_KERNEL_NS as f64 / opt_ns as f64,
+    );
+
+    // --- Per-tile entropy decode + end-to-end decode, both modes ------
+    let mut entropy_ns = Vec::new();
+    let mut decode_ns = Vec::new();
+    let mut decode_mbps = Vec::new();
+    for (name, mode) in [("lossless", ModeSel::Lossless), ("lossy", ModeSel::Lossy)] {
+        let wl = workload(mode);
+        let dec: &StagedDecoder = &wl.decoder;
+        let tiles = dec.num_tiles();
+        let mut scratch = DecodeScratch::new();
+        for _ in 0..warmup {
+            for t in 0..tiles {
+                let _ = dec.entropy_decode_tile_with(t, &mut scratch).unwrap();
+            }
+        }
+        let per_tile = best_ns(samples, || {
+            for t in 0..tiles {
+                let _ = dec.entropy_decode_tile_with(t, &mut scratch).unwrap();
+            }
+        }) / tiles as u64;
+        entropy_ns.push((name, per_tile));
+
+        let bytes = &wl.codestream;
+        for _ in 0..warmup {
+            let _ = decode(bytes).unwrap();
+        }
+        let total = best_ns(samples, || {
+            let _ = decode(bytes).unwrap();
+        });
+        // Throughput over decoded samples at one byte per 8-bit sample.
+        let out_bytes = (wl.image.width * wl.image.height * wl.image.components.len()) as f64;
+        let mbps = out_bytes / (total as f64 / 1e9) / 1e6;
+        decode_ns.push((name, total));
+        decode_mbps.push((name, mbps));
+        println!("{name}: entropy {per_tile} ns/tile, decode {total} ns ({mbps:.3} MB/s)");
+    }
+
+    if quick {
+        println!("quick mode: skipping BENCH_decode.json");
+        return;
+    }
+
+    let kv = |pairs: &[(&str, String)]| {
+        pairs
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let num = |pairs: &[(&str, u64)]| {
+        kv(&pairs
+            .iter()
+            .map(|&(k, v)| (k, v.to_string()))
+            .collect::<Vec<_>>())
+    };
+    let flt = |pairs: &[(&str, f64)]| {
+        kv(&pairs
+            .iter()
+            .map(|&(k, v)| (k, format!("{v:.3}")))
+            .collect::<Vec<_>>())
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"t1_throughput\",\n  \"workload\": \"table1_128x128_rgb_16_tiles\",\n  \
+         \"kernel_64x64_hl\": {{ \"optimized_ns\": {opt_ns}, \"reference_ns\": {ref_ns}, \
+         \"samples_per_sec\": {samples_per_sec:.0}, \
+         \"speedup_vs_reference\": {:.3}, \"speedup_vs_pre_pr\": {:.3} }},\n  \
+         \"entropy_per_tile_ns\": {{ {} }},\n  \"decode_ns\": {{ {} }},\n  \
+         \"decode_mb_per_s\": {{ {} }},\n  \
+         \"baseline_pre_pr\": {{ \"kernel_64x64_hl_ns\": {BASELINE_KERNEL_NS}, \
+         \"entropy_per_tile_ns\": {{ {} }}, \"decode_ns\": {{ {} }} }},\n  \
+         \"entropy_speedup_vs_pre_pr\": {{ {} }},\n  \"decode_speedup_vs_pre_pr\": {{ {} }}\n}}\n",
+        ref_ns as f64 / opt_ns as f64,
+        BASELINE_KERNEL_NS as f64 / opt_ns as f64,
+        num(&entropy_ns),
+        num(&decode_ns),
+        flt(&decode_mbps),
+        num(&BASELINE_ENTROPY_NS),
+        num(&BASELINE_DECODE_NS),
+        flt(&entropy_ns
+            .iter()
+            .zip(&BASELINE_ENTROPY_NS)
+            .map(|(&(k, v), &(_, b))| (k, b as f64 / v as f64))
+            .collect::<Vec<_>>()),
+        flt(&decode_ns
+            .iter()
+            .zip(&BASELINE_DECODE_NS)
+            .map(|(&(k, v), &(_, b))| (k, b as f64 / v as f64))
+            .collect::<Vec<_>>()),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode.json");
+    std::fs::write(path, &json).expect("write BENCH_decode.json");
+    println!("wrote {path}");
+}

@@ -15,11 +15,11 @@ use crate::codestream::{
 use crate::ct::{
     dc_shift_forward, dc_shift_inverse, ict_forward, ict_inverse, rct_forward, rct_inverse,
 };
-use crate::dwt::{fdwt53_2d, fdwt97_2d, idwt53_2d, idwt97_2d};
+use crate::dwt::{fdwt53_2d, fdwt97_2d, idwt53_2d_with, idwt97_2d_with};
 use crate::error::{CodecError, CodecResult};
 use crate::image::{Image, Plane};
 use crate::quant::{band_step, dequantize, quantize, QuantMode};
-use crate::t1::decode_block_segments;
+use crate::scratch::DecodeScratch;
 use crate::t2::{read_packet, write_packet, BandBlocks, BlockContribution};
 use crate::tile::{codeblocks, resolution_bands, Band, Rect, TileGrid};
 
@@ -469,6 +469,21 @@ impl StagedDecoder {
         self.entropy_decode_tile_res(t, usize::MAX)
     }
 
+    /// [`Self::entropy_decode_tile`] with a caller-provided scratch
+    /// arena, so the Tier-1 buffers are reused across code-blocks and
+    /// tiles instead of reallocated per block.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed packets.
+    pub fn entropy_decode_tile_with(
+        &self,
+        t: usize,
+        scratch: &mut DecodeScratch,
+    ) -> CodecResult<TileCoeffs> {
+        self.entropy_decode_tile_opts_with(t, usize::MAX, usize::MAX, scratch)
+    }
+
     /// Like [`Self::entropy_decode_tile`], but stops after resolution
     /// `max_res` (0 = only the deepest LL). Because the codestream is in
     /// LRCP order, the remaining packets are simply never read — the
@@ -494,6 +509,22 @@ impl StagedDecoder {
         t: usize,
         max_res: usize,
         max_layers: usize,
+    ) -> CodecResult<TileCoeffs> {
+        self.entropy_decode_tile_opts_with(t, max_res, max_layers, &mut DecodeScratch::new())
+    }
+
+    /// [`Self::entropy_decode_tile_opts`] with a caller-provided scratch
+    /// arena.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed packets.
+    pub fn entropy_decode_tile_opts_with(
+        &self,
+        t: usize,
+        max_res: usize,
+        max_layers: usize,
+        scratch: &mut DecodeScratch,
     ) -> CodecResult<TileCoeffs> {
         let rect = self.grid.tile_rect(t);
         let (w, h) = (rect.w, rect.h);
@@ -570,8 +601,9 @@ impl StagedDecoder {
                         }
                         let refs: Vec<(&[u8], u32)> =
                             segments.iter().map(|(d, n)| (d.as_slice(), *n)).collect();
-                        let (mags, negative) =
-                            decode_block_segments(&refs, r.w, r.h, band.kind, mb);
+                        let (mags, negative) = scratch
+                            .t1
+                            .decode_block_segments(&refs, r.w, r.h, band.kind, mb);
                         for y in 0..r.h {
                             for x in 0..r.w {
                                 let m = mags[y * r.w + x];
@@ -631,6 +663,12 @@ impl StagedDecoder {
 
     /// Stage 3 — inverse DWT (5/3 integer or 9/7 real lifting).
     pub fn idwt_tile(&self, wavelet: TileWavelet) -> TileSamples {
+        self.idwt_tile_with(wavelet, &mut DecodeScratch::new())
+    }
+
+    /// [`Self::idwt_tile`] with a caller-provided scratch arena for the
+    /// row/column lifting buffers.
+    pub fn idwt_tile_with(&self, wavelet: TileWavelet, scratch: &mut DecodeScratch) -> TileSamples {
         let rect = wavelet.rect;
         let levels = self.header.levels as usize;
         let planes = wavelet
@@ -638,11 +676,11 @@ impl StagedDecoder {
             .into_iter()
             .map(|p| match p {
                 CoeffPlane::Int(mut buf) => {
-                    idwt53_2d(&mut buf, rect.w, rect.h, levels);
+                    idwt53_2d_with(&mut buf, rect.w, rect.h, levels, &mut scratch.dwt);
                     buf
                 }
                 CoeffPlane::Real(mut buf) => {
-                    idwt97_2d(&mut buf, rect.w, rect.h, levels);
+                    idwt97_2d_with(&mut buf, rect.w, rect.h, levels, &mut scratch.dwt);
                     buf.into_iter().map(|v| v.round() as i32).collect()
                 }
             })
@@ -780,13 +818,14 @@ pub fn decode(bytes: &[u8]) -> CodecResult<DecodedImage> {
     let dec = StagedDecoder::new(bytes)?;
     let mut image = dec.blank_image();
     let mut timings = DecodeTimings::default();
+    let mut scratch = DecodeScratch::new();
     for t in 0..dec.num_tiles() {
         let t0 = Instant::now();
-        let coeffs = dec.entropy_decode_tile(t)?;
+        let coeffs = dec.entropy_decode_tile_with(t, &mut scratch)?;
         let t1 = Instant::now();
         let wavelet = dec.dequantize_tile(&coeffs);
         let t2 = Instant::now();
-        let samples = dec.idwt_tile(wavelet);
+        let samples = dec.idwt_tile_with(wavelet, &mut scratch);
         let t3 = Instant::now();
         let samples = dec.inverse_mct_tile(samples);
         let t4 = Instant::now();
@@ -813,10 +852,13 @@ pub fn decode(bytes: &[u8]) -> CodecResult<DecodedImage> {
 pub fn decode_quality(bytes: &[u8], max_layers: usize) -> CodecResult<Image> {
     let dec = StagedDecoder::new(bytes)?;
     let mut image = dec.blank_image();
+    let mut scratch = DecodeScratch::new();
     for t in 0..dec.num_tiles() {
-        let coeffs = dec.entropy_decode_tile_opts(t, usize::MAX, max_layers.max(1))?;
-        let samples =
-            dec.dc_unshift_tile(dec.inverse_mct_tile(dec.idwt_tile(dec.dequantize_tile(&coeffs))));
+        let coeffs =
+            dec.entropy_decode_tile_opts_with(t, usize::MAX, max_layers.max(1), &mut scratch)?;
+        let samples = dec.dc_unshift_tile(
+            dec.inverse_mct_tile(dec.idwt_tile_with(dec.dequantize_tile(&coeffs), &mut scratch)),
+        );
         dec.place_tile(&mut image, &samples);
     }
     Ok(image)
@@ -849,9 +891,10 @@ pub fn decode_thumbnail(bytes: &[u8], max_res: usize) -> CodecResult<Image> {
         dec.header.depth,
         dec.header.num_components as usize,
     );
+    let mut scratch = DecodeScratch::new();
     for t in 0..dec.num_tiles() {
         let rect = grid.tile_rect(t);
-        let coeffs = dec.entropy_decode_tile_res(t, max_res)?;
+        let coeffs = dec.entropy_decode_tile_opts_with(t, max_res, usize::MAX, &mut scratch)?;
         // Reconstruct only the retained resolutions: the tile now behaves
         // like a smaller tile with `max_res` levels of detail.
         let applied_t = crate::dwt::effective_levels(rect.w, rect.h, levels);
@@ -897,7 +940,7 @@ pub fn decode_thumbnail(bytes: &[u8], max_res: usize) -> CodecResult<Image> {
             .map(|q| match dec.header.wavelet {
                 Wavelet::W53 => {
                     let mut buf = q.clone();
-                    idwt53_2d(&mut buf, tw, th, keep);
+                    idwt53_2d_with(&mut buf, tw, th, keep, &mut scratch.dwt);
                     buf
                 }
                 Wavelet::W97 => {
@@ -910,7 +953,7 @@ pub fn decode_thumbnail(bytes: &[u8], max_res: usize) -> CodecResult<Image> {
                             }
                         }
                     }
-                    idwt97_2d(&mut real, tw, th, keep);
+                    idwt97_2d_with(&mut real, tw, th, keep, &mut scratch.dwt);
                     real.into_iter().map(|v| v.round() as i32).collect()
                 }
             })
@@ -933,6 +976,45 @@ pub fn decode_thumbnail(bytes: &[u8], max_res: usize) -> CodecResult<Image> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// FNV-1a over a byte stream, for whole-image identity pinning.
+    fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Whole-pipeline byte-identity pin on the Table-1 workload: the
+    /// hashes below were recorded with the pre-flags-lattice Tier-1
+    /// (reference path), so any coding or reconstruction drift in the
+    /// optimised kernels fails here even if round-trips still close.
+    #[test]
+    fn table1_workload_bytes_are_pinned() {
+        for (mode, stream_fnv, image_fnv) in [
+            (Mode::Lossless, 0x697485fb868d05c1u64, 0xa4b7ae565527c640u64),
+            (
+                Mode::lossy_default(),
+                0xc4f59ed9ded55b45,
+                0x658700bde59fc6d5,
+            ),
+        ] {
+            let img = Image::synthetic_rgb(128, 128, 2008);
+            let params = EncodeParams::new(mode).tile_size(32, 32);
+            let bytes = encode(&img, &params).unwrap();
+            assert_eq!(fnv1a(bytes.iter().copied()), stream_fnv, "{mode:?} stream");
+            let out = decode(&bytes).unwrap();
+            let ih = fnv1a(
+                out.image
+                    .components
+                    .iter()
+                    .flat_map(|c| c.data.iter().flat_map(|v| v.to_le_bytes())),
+            );
+            assert_eq!(ih, image_fnv, "{mode:?} image");
+        }
+    }
 
     #[test]
     fn lossless_roundtrip_single_tile() {

@@ -178,17 +178,23 @@ fn deinterleave<T: Copy + Default>(row: &mut [T], scratch: &mut Vec<T>) {
     }
 }
 
-/// Inverse of [`deinterleave`].
-fn interleave<T: Copy + Default>(row: &mut [T], scratch: &mut Vec<T>) {
-    let n = row.len();
-    scratch.clear();
-    scratch.extend_from_slice(row);
-    let half = n.div_ceil(2);
-    for (k, i) in (0..n).step_by(2).enumerate() {
-        row[i] = scratch[k];
-    }
-    for (k, i) in (1..n).step_by(2).enumerate() {
-        row[i] = scratch[half + k];
+/// Reusable row/column buffers for the 2-D inverse transforms. One
+/// instance serves any sequence of tiles and resolutions (buffers grow
+/// to the largest signal seen), replacing the four per-call `Vec`
+/// allocations the inverse pass used to make — part of the decode
+/// scratch arena (see [`crate::scratch::DecodeScratch`]).
+#[derive(Debug, Clone, Default)]
+pub struct DwtScratch {
+    row_i: Vec<i32>,
+    col_i: Vec<i32>,
+    row_f: Vec<f64>,
+    col_f: Vec<f64>,
+}
+
+impl DwtScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -233,6 +239,13 @@ fn fdwt_2d<T: Copy + Default>(
 }
 
 /// Generic 2-D multi-level inverse transform in Mallat layout.
+///
+/// `rowbuf`/`colbuf` are caller-provided scratch, reused across levels
+/// and calls. Instead of copying each signal out and re-interleaving it
+/// through a third buffer (two copies per signal), the gather itself
+/// reads the Mallat halves in interleaved order — one strided copy in,
+/// unlift, one copy out.
+#[allow(clippy::too_many_arguments)]
 fn idwt_2d<T: Copy + Default>(
     data: &mut [T],
     width: usize,
@@ -240,6 +253,8 @@ fn idwt_2d<T: Copy + Default>(
     stride: usize,
     levels: usize,
     unlift: &dyn Fn(&mut [T]),
+    rowbuf: &mut Vec<T>,
+    colbuf: &mut Vec<T>,
 ) {
     // Reconstruct the per-level region sizes, then undo from the deepest.
     let mut dims = Vec::new();
@@ -252,27 +267,34 @@ fn idwt_2d<T: Copy + Default>(
         w = w.div_ceil(2);
         h = h.div_ceil(2);
     }
-    let mut rowbuf: Vec<T> = Vec::new();
-    let mut colbuf: Vec<T> = Vec::new();
-    let mut scratch: Vec<T> = Vec::new();
     for &(w, h) in dims.iter().rev() {
         // Columns first (inverse order of the forward pass).
+        let half_h = h.div_ceil(2);
+        colbuf.clear();
+        colbuf.resize(h, T::default());
         for x in 0..w {
-            colbuf.clear();
-            colbuf.extend((0..h).map(|y| data[y * stride + x]));
-            interleave(&mut colbuf, &mut scratch);
-            unlift(&mut colbuf);
+            for (y, slot) in colbuf.iter_mut().enumerate() {
+                // Even outputs come from the low half, odd from the high.
+                let src = if y % 2 == 0 { y / 2 } else { half_h + y / 2 };
+                *slot = data[src * stride + x];
+            }
+            unlift(colbuf);
             for (y, v) in colbuf.iter().enumerate() {
                 data[y * stride + x] = *v;
             }
         }
         // Rows.
+        let half_w = w.div_ceil(2);
+        rowbuf.clear();
+        rowbuf.resize(w, T::default());
         for y in 0..h {
-            rowbuf.clear();
-            rowbuf.extend_from_slice(&data[y * stride..y * stride + w]);
-            interleave(&mut rowbuf, &mut scratch);
-            unlift(&mut rowbuf);
-            data[y * stride..y * stride + w].copy_from_slice(&rowbuf);
+            let row = &data[y * stride..y * stride + w];
+            for (i, slot) in rowbuf.iter_mut().enumerate() {
+                let src = if i % 2 == 0 { i / 2 } else { half_w + i / 2 };
+                *slot = row[src];
+            }
+            unlift(rowbuf);
+            data[y * stride..y * stride + w].copy_from_slice(rowbuf);
         }
     }
 }
@@ -285,7 +307,27 @@ pub fn fdwt53_2d(data: &mut [i32], width: usize, height: usize, levels: usize) {
 
 /// Multi-level inverse 5/3 (bit-exact inverse of [`fdwt53_2d`]).
 pub fn idwt53_2d(data: &mut [i32], width: usize, height: usize, levels: usize) {
-    idwt_2d(data, width, height, width, levels, &|r| idwt53_1d(r));
+    idwt53_2d_with(data, width, height, levels, &mut DwtScratch::new());
+}
+
+/// [`idwt53_2d`] with caller-provided scratch buffers.
+pub fn idwt53_2d_with(
+    data: &mut [i32],
+    width: usize,
+    height: usize,
+    levels: usize,
+    scratch: &mut DwtScratch,
+) {
+    idwt_2d(
+        data,
+        width,
+        height,
+        width,
+        levels,
+        &|r| idwt53_1d(r),
+        &mut scratch.row_i,
+        &mut scratch.col_i,
+    );
 }
 
 /// Multi-level forward 9/7 on a `width × height` plane.
@@ -295,7 +337,27 @@ pub fn fdwt97_2d(data: &mut [f64], width: usize, height: usize, levels: usize) {
 
 /// Multi-level inverse 9/7.
 pub fn idwt97_2d(data: &mut [f64], width: usize, height: usize, levels: usize) {
-    idwt_2d(data, width, height, width, levels, &|r| idwt97_1d(r));
+    idwt97_2d_with(data, width, height, levels, &mut DwtScratch::new());
+}
+
+/// [`idwt97_2d`] with caller-provided scratch buffers.
+pub fn idwt97_2d_with(
+    data: &mut [f64],
+    width: usize,
+    height: usize,
+    levels: usize,
+    scratch: &mut DwtScratch,
+) {
+    idwt_2d(
+        data,
+        width,
+        height,
+        width,
+        levels,
+        &|r| idwt97_1d(r),
+        &mut scratch.row_f,
+        &mut scratch.col_f,
+    );
 }
 
 /// Number of decomposition levels actually applied to a `width × height`
@@ -406,6 +468,36 @@ mod tests {
             idwt97_2d(&mut x, w, h, levels);
             for (a, b) in x.iter().zip(&orig) {
                 assert!((a - b).abs() < 1e-6, "{w}x{h}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_multilevel_roundtrip_odd_sizes() {
+        // One scratch across many odd geometries and both filters: the
+        // buffers must resize correctly between signals of different
+        // lengths and leave every round-trip exact.
+        let mut scratch = DwtScratch::new();
+        for &(w, h, levels) in &[
+            (17usize, 13usize, 4usize),
+            (5, 9, 2),
+            (33, 1, 3),
+            (1, 21, 4),
+            (31, 15, 5),
+            (7, 7, 3),
+        ] {
+            let orig = random_signal(w * h, (w * 31 + h) as u64);
+            let mut x = orig.clone();
+            fdwt53_2d(&mut x, w, h, levels);
+            idwt53_2d_with(&mut x, w, h, levels, &mut scratch);
+            assert_eq!(x, orig, "5/3 {w}x{h} levels {levels}");
+
+            let origf: Vec<f64> = orig.iter().map(|&v| v as f64).collect();
+            let mut xf = origf.clone();
+            fdwt97_2d(&mut xf, w, h, levels);
+            idwt97_2d_with(&mut xf, w, h, levels, &mut scratch);
+            for (a, b) in xf.iter().zip(&origf) {
+                assert!((a - b).abs() < 1e-6, "9/7 {w}x{h}: {a} vs {b}");
             }
         }
     }

@@ -26,6 +26,8 @@
 //!   plus the stage-instrumented decoder behind the Figure-1 profile.
 //! * [`parallel`] — tile-parallel [`parallel::decode_parallel`], the
 //!   native mirror of the paper's 1/2/4-pipeline model versions.
+//! * [`scratch`] — the [`scratch::DecodeScratch`] arena of reusable
+//!   Tier-1/DWT buffers (one per decode, or one per parallel worker).
 //!
 //! ## Example
 //!
@@ -52,6 +54,7 @@ pub mod io;
 pub mod mq;
 pub mod parallel;
 pub mod quant;
+pub mod scratch;
 pub mod t1;
 pub mod t2;
 pub mod tile;

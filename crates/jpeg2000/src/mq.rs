@@ -291,44 +291,65 @@ impl<'a> MqDecoder<'a> {
     }
 
     /// Decodes one decision in context `cx` (DECODE).
+    ///
+    /// The overwhelmingly common case — an MPS with no renormalisation —
+    /// returns from the inlined body without touching the exchange
+    /// logic, keeping the Tier-1 hot loop's per-decision cost to a table
+    /// load, a subtraction and two compares. The exchange/renorm tails
+    /// are kept out of line so they don't bloat every call site.
+    #[inline]
     pub fn decode(&mut self, cx: &mut MqContext) -> bool {
-        let (qe, nmps, nlps, switch) = STATE_TABLE[cx.state as usize];
-        let qe = qe as u32;
+        let qe = STATE_TABLE[cx.state as usize].0 as u32;
         self.a -= qe;
-        let d;
-        if (self.c >> 16) < qe {
-            // LPS exchange path.
-            if self.a < qe {
-                d = cx.mps;
-                cx.state = nmps;
-            } else {
-                d = !cx.mps;
-                if switch {
-                    cx.mps = !cx.mps;
-                }
-                cx.state = nlps;
-            }
-            self.a = qe;
-            self.renorm();
-        } else {
+        if (self.c >> 16) >= qe {
             self.c -= qe << 16;
-            if self.a & 0x8000 == 0 {
-                // MPS exchange path.
-                if self.a < qe {
-                    d = !cx.mps;
-                    if switch {
-                        cx.mps = !cx.mps;
-                    }
-                    cx.state = nlps;
-                } else {
-                    d = cx.mps;
-                    cx.state = nmps;
-                }
-                self.renorm();
-            } else {
-                d = cx.mps;
+            if self.a & 0x8000 != 0 {
+                return cx.mps; // MPS, no renormalisation
             }
+            self.decode_mps_exchange(cx, qe)
+        } else {
+            self.decode_lps_exchange(cx, qe)
         }
+    }
+
+    /// MPS exchange path (`a` dropped below 0x8000): resolve the
+    /// conditional exchange, adapt the context, renormalise.
+    #[inline(never)]
+    fn decode_mps_exchange(&mut self, cx: &mut MqContext, qe: u32) -> bool {
+        let (_, nmps, nlps, switch) = STATE_TABLE[cx.state as usize];
+        let d;
+        if self.a < qe {
+            d = !cx.mps;
+            if switch {
+                cx.mps = !cx.mps;
+            }
+            cx.state = nlps;
+        } else {
+            d = cx.mps;
+            cx.state = nmps;
+        }
+        self.renorm();
+        d
+    }
+
+    /// LPS exchange path (`chigh < qe`): resolve the conditional
+    /// exchange, adapt the context, renormalise.
+    #[inline(never)]
+    fn decode_lps_exchange(&mut self, cx: &mut MqContext, qe: u32) -> bool {
+        let (_, nmps, nlps, switch) = STATE_TABLE[cx.state as usize];
+        let d;
+        if self.a < qe {
+            d = cx.mps;
+            cx.state = nmps;
+        } else {
+            d = !cx.mps;
+            if switch {
+                cx.mps = !cx.mps;
+            }
+            cx.state = nlps;
+        }
+        self.a = qe;
+        self.renorm();
         d
     }
 

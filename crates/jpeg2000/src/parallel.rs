@@ -28,6 +28,7 @@ use std::time::Instant;
 
 use crate::codec::{DecodeTimings, DecodedImage, StagedDecoder, TileSamples};
 use crate::error::CodecResult;
+use crate::scratch::DecodeScratch;
 
 /// Builder-style handle for tile-parallel decoding: the `workers(n)`
 /// knob mirrors the paper's 1/2/4-pipeline model versions.
@@ -65,13 +66,16 @@ impl ParallelDecoder {
 }
 
 /// One worker's claim-decode loop: drains the shared tile queue, fully
-/// decoding each claimed tile to spatial samples.
+/// decoding each claimed tile to spatial samples. Each worker owns one
+/// [`DecodeScratch`] arena, reused across all tiles it claims — no
+/// cross-thread buffer sharing, no per-block allocation.
 fn run_worker(
     dec: &StagedDecoder,
     next: &AtomicUsize,
     num_tiles: usize,
 ) -> Vec<(usize, CodecResult<TileSamples>, DecodeTimings)> {
     let mut done = Vec::new();
+    let mut scratch = DecodeScratch::new();
     loop {
         let t = next.fetch_add(1, Ordering::Relaxed);
         if t >= num_tiles {
@@ -79,11 +83,11 @@ fn run_worker(
         }
         let mut timings = DecodeTimings::default();
         let t0 = Instant::now();
-        let result = dec.entropy_decode_tile(t).map(|coeffs| {
+        let result = dec.entropy_decode_tile_with(t, &mut scratch).map(|coeffs| {
             let t1 = Instant::now();
             let wavelet = dec.dequantize_tile(&coeffs);
             let t2 = Instant::now();
-            let samples = dec.idwt_tile(wavelet);
+            let samples = dec.idwt_tile_with(wavelet, &mut scratch);
             let t3 = Instant::now();
             let samples = dec.inverse_mct_tile(samples);
             let t4 = Instant::now();

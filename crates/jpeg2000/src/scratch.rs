@@ -1,0 +1,31 @@
+//! The decode scratch arena: every reusable buffer the staged decoder
+//! needs, bundled so one allocation set serves a whole decode.
+//!
+//! The paper's profile makes Tier-1 the hot stage, and the Tier-1 inner
+//! loop used to allocate three fresh `Vec`s per code-block (flags,
+//! magnitudes, signs) plus four more per inverse-DWT call. A
+//! [`DecodeScratch`] owns all of them; [`crate::codec::decode`] reuses
+//! one across every tile, and [`crate::parallel`] gives each worker its
+//! own so no synchronisation is needed.
+
+use crate::dwt::DwtScratch;
+use crate::t1::T1Scratch;
+
+/// Reusable decode buffers: the Tier-1 flags/magnitude/sign planes and
+/// the DWT row/column scratch. Buffers grow to the largest code-block,
+/// column and row seen and are then reused; dropping the arena frees
+/// everything at once.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeScratch {
+    /// Tier-1 per-code-block buffers.
+    pub(crate) t1: T1Scratch,
+    /// Inverse-DWT row/column buffers.
+    pub(crate) dwt: DwtScratch,
+}
+
+impl DecodeScratch {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -1,0 +1,36 @@
+//! Prints FNV-1a hashes of the Table-1 workload codestream and decode —
+//! the values `codec::tests::table1_workload_bytes_are_pinned` pins.
+//! Re-run this after an *intentional* bitstream change to refresh them.
+fn fnv(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn main() {
+    use osss_jpeg2000::jpeg2000::codec::{decode, encode, EncodeParams, Mode};
+    use osss_jpeg2000::jpeg2000::image::Image;
+    for (name, mode) in [
+        ("lossless", Mode::Lossless),
+        ("lossy", Mode::lossy_default()),
+    ] {
+        let img = Image::synthetic_rgb(128, 128, 2008);
+        let params = EncodeParams::new(mode).tile_size(32, 32);
+        let bytes = encode(&img, &params).unwrap();
+        let out = decode(&bytes).unwrap();
+        let imghash = fnv(out
+            .image
+            .components
+            .iter()
+            .flat_map(|c| c.data.iter().flat_map(|v| v.to_le_bytes())));
+        println!(
+            "{name}: stream_len={} stream_fnv={:#018x} image_fnv={:#018x}",
+            bytes.len(),
+            fnv(bytes.iter().copied()),
+            imghash
+        );
+    }
+}

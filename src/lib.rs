@@ -46,6 +46,7 @@ pub use osss_sim as sim;
 pub use osss_vta as vta;
 
 pub use jpeg2000::parallel::{decode_parallel, ParallelDecoder};
+pub use jpeg2000::scratch::DecodeScratch;
 
 /// Decodes a codestream with the tile-parallel backend, `n` worker
 /// pipelines (`0` = automatic). Bit-exact with
