@@ -10,7 +10,8 @@
 use std::time::{Duration, Instant};
 
 use crate::codestream::{
-    parse_codestream, write_codestream, MainHeader, QuantSpec, TileSegment, Wavelet,
+    parse_codestream, parse_codestream_tolerant, write_codestream, MainHeader, QuantSpec,
+    TileSegment, Wavelet,
 };
 use crate::ct::{
     dc_shift_forward, dc_shift_inverse, ict_forward, ict_inverse, rct_forward, rct_inverse,
@@ -33,6 +34,10 @@ pub const KMAX: u32 = 18;
 /// the process inside `Vec` before any tile data is even looked at; past
 /// this bound [`StagedDecoder::new`] returns a structured error instead.
 pub const MAX_DECODE_SAMPLES: u64 = 1 << 28;
+
+/// Cap on errors a tolerant decode records per sink, so a pathological
+/// stream (every code-block failing a check) cannot balloon the report.
+pub const MAX_REPORTED_ERRORS: usize = 64;
 
 /// Lossless (5/3 + RCT) or lossy (9/7 + ICT) operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -261,6 +266,14 @@ impl LayeredBand {
                 .blocks
                 .iter()
                 .map(|(mb, segs)| {
+                    // A block whose coding passes ran out before layer
+                    // `l` has no segment here; `(Vec::new(), 0)` is the
+                    // correct encoding, not a fallback: `write_packet`
+                    // signals `num_passes == 0` as "not included in
+                    // this layer", so the decoder never sees the empty
+                    // segment — it simply accumulates nothing for this
+                    // block in this layer (the truncated-layer
+                    // round-trip test pins this).
                     let (data, passes) = segs
                         .get(l)
                         .map(|s| (s.data.clone(), s.num_passes))
@@ -410,19 +423,7 @@ impl StagedDecoder {
     /// Any [`CodecError`] from parsing or validation.
     pub fn new(bytes: &[u8]) -> CodecResult<Self> {
         let (header, segments) = parse_codestream(bytes)?;
-        let samples =
-            u64::from(header.width) * u64::from(header.height) * u64::from(header.num_components);
-        if samples > MAX_DECODE_SAMPLES {
-            return Err(CodecError::malformed(format!(
-                "image of {samples} samples exceeds the decoder limit of {MAX_DECODE_SAMPLES}"
-            )));
-        }
-        let grid = TileGrid::new(
-            header.width as usize,
-            header.height as usize,
-            header.tile_w as usize,
-            header.tile_h as usize,
-        );
+        let grid = Self::validated_grid(&header)?;
         if segments.len() != grid.count() {
             return Err(CodecError::malformed(format!(
                 "expected {} tiles, found {}",
@@ -442,6 +443,80 @@ impl StagedDecoder {
             grid,
             tiles,
         })
+    }
+
+    /// Geometry validation shared by the strict and tolerant
+    /// constructors: the allocation cap and the tile grid.
+    fn validated_grid(header: &MainHeader) -> CodecResult<TileGrid> {
+        let samples =
+            u64::from(header.width) * u64::from(header.height) * u64::from(header.num_components);
+        if samples > MAX_DECODE_SAMPLES {
+            return Err(CodecError::malformed(format!(
+                "image of {samples} samples exceeds the decoder limit of {MAX_DECODE_SAMPLES}"
+            ))
+            .in_marker("SIZ"));
+        }
+        Ok(TileGrid::new(
+            header.width as usize,
+            header.height as usize,
+            header.tile_w as usize,
+            header.tile_h as usize,
+        ))
+    }
+
+    /// Tolerant constructor: salvages whatever tile-parts a damaged
+    /// stream still contains. The main header and its geometry are
+    /// validated strictly (without them no pixel can be placed); every
+    /// tile-section problem — unparseable tile-parts, out-of-range or
+    /// duplicate tile indices, missing tiles — becomes a
+    /// [`TileFailure`] in the returned [`DecodeReport`] and the
+    /// corresponding tile decodes from empty data (rendering mid-gray).
+    ///
+    /// # Errors
+    ///
+    /// Main-header parse or geometry-validation failures only.
+    pub fn new_tolerant(bytes: &[u8]) -> CodecResult<(Self, DecodeReport)> {
+        let parsed = parse_codestream_tolerant(bytes)?;
+        let header = parsed.header;
+        let grid = Self::validated_grid(&header)?;
+        let count = grid.count();
+        let mut report = DecodeReport::default();
+        for error in parsed.errors {
+            report.record_parse(error);
+        }
+        let mut tiles = vec![Vec::new(); count];
+        let mut present = vec![false; count];
+        for s in parsed.tiles {
+            let i = s.index as usize;
+            if i >= count {
+                report.record_parse(
+                    CodecError::malformed(format!(
+                        "tile index {i} out of range (grid has {count} tiles)"
+                    ))
+                    .in_tile(i),
+                );
+                continue;
+            }
+            if present[i] {
+                report.record_parse(CodecError::malformed("duplicate tile-part").in_tile(i));
+                continue;
+            }
+            tiles[i] = s.data;
+            present[i] = true;
+        }
+        for (i, p) in present.iter().enumerate() {
+            if !p {
+                report.record_parse(CodecError::malformed("tile-part missing").in_tile(i));
+            }
+        }
+        Ok((
+            StagedDecoder {
+                header,
+                grid,
+                tiles,
+            },
+            report,
+        ))
     }
 
     /// The parsed main header.
@@ -526,6 +601,44 @@ impl StagedDecoder {
         max_layers: usize,
         scratch: &mut DecodeScratch,
     ) -> CodecResult<TileCoeffs> {
+        self.entropy_decode_tile_core(t, max_res, max_layers, scratch, None)
+    }
+
+    /// Tolerant entropy decode: never fails. Structural damage is
+    /// appended to `errors` (capped at [`MAX_REPORTED_ERRORS`] entries)
+    /// and recovery is per code-block — an invalid block is skipped
+    /// (its coefficients stay zero), while an unparseable packet header
+    /// ends the tile's bitstream (later packets cannot be located
+    /// without it) but keeps every block accumulated so far.
+    pub fn entropy_decode_tile_tolerant_with(
+        &self,
+        t: usize,
+        scratch: &mut DecodeScratch,
+        errors: &mut Vec<CodecError>,
+    ) -> TileCoeffs {
+        self.entropy_decode_tile_core(t, usize::MAX, usize::MAX, scratch, Some(errors))
+            .expect("tolerant entropy decode records errors instead of returning them")
+    }
+
+    /// Shared strict/tolerant entropy decode. With `sink: None` the
+    /// first error aborts the tile (strict contract); with `Some(sink)`
+    /// errors are recorded and decoding continues, so the result is
+    /// always `Ok`.
+    fn entropy_decode_tile_core(
+        &self,
+        t: usize,
+        max_res: usize,
+        max_layers: usize,
+        scratch: &mut DecodeScratch,
+        mut sink: Option<&mut Vec<CodecError>>,
+    ) -> CodecResult<TileCoeffs> {
+        // Bounds reporting without unbounded growth on pathological
+        // streams (every block of a large tile can fail its checks).
+        fn record(sink: &mut Vec<CodecError>, e: CodecError) {
+            if sink.len() < MAX_REPORTED_ERRORS {
+                sink.push(e);
+            }
+        }
         let rect = self.grid.tile_rect(t);
         let (w, h) = (rect.w, rect.h);
         let levels = self.header.levels as usize;
@@ -537,6 +650,10 @@ impl StagedDecoder {
         let mut planes = vec![vec![0i32; w * h]; ncomp];
         let data = &self.tiles[t];
         let mut pos = 0usize;
+        // Set when a packet header could not be parsed: the rest of the
+        // tile's bitstream can no longer be located, so stop reading
+        // packets (but still Tier-1 decode what was accumulated).
+        let mut stream_dead = false;
         for group in &groups {
             let grids: Vec<(usize, usize)> = group
                 .iter()
@@ -553,9 +670,21 @@ impl StagedDecoder {
                         .collect()
                 })
                 .collect();
-            for l in 0..layers {
+            'layers: for l in 0..layers {
                 for (comp, comp_acc) in acc.iter_mut().enumerate() {
-                    let (parsed, consumed) = read_packet(&data[pos..], &grids)?;
+                    let (parsed, consumed) = match read_packet(&data[pos..], &grids)
+                        .map_err(|e| e.rebase_offset(pos).in_tile(t))
+                    {
+                        Ok(v) => v,
+                        Err(e) => match sink.as_deref_mut() {
+                            Some(s) => {
+                                record(s, e);
+                                stream_dead = true;
+                                break 'layers;
+                            }
+                            None => return Err(e),
+                        },
+                    };
                     pos += consumed;
                     let keep = l < max_layers;
                     for (bi, blocks) in parsed.into_iter().enumerate() {
@@ -564,18 +693,34 @@ impl StagedDecoder {
                                 continue;
                             }
                             if pb.zero_bitplanes > KMAX {
-                                return Err(CodecError::malformed(format!(
-                                    "zero-bit-plane count {} exceeds {KMAX}                                      (component {comp})",
+                                let e = CodecError::malformed(format!(
+                                    "zero-bit-plane count {} exceeds {KMAX} (component {comp})",
                                     pb.zero_bitplanes
-                                )));
+                                ))
+                                .in_tile(t);
+                                match sink.as_deref_mut() {
+                                    Some(s) => {
+                                        record(s, e);
+                                        continue;
+                                    }
+                                    None => return Err(e),
+                                }
                             }
                             let slot = &mut comp_acc[bi][blk];
                             match slot.0 {
                                 None => slot.0 = Some(pb.zero_bitplanes),
                                 Some(z) if z != pb.zero_bitplanes => {
-                                    return Err(CodecError::malformed(
+                                    let e = CodecError::malformed(
                                         "inconsistent zero-bit-planes across layers",
-                                    ))
+                                    )
+                                    .in_tile(t);
+                                    match sink.as_deref_mut() {
+                                        Some(s) => {
+                                            record(s, e);
+                                            continue;
+                                        }
+                                        None => return Err(e),
+                                    }
                                 }
                                 _ => {}
                             }
@@ -595,9 +740,17 @@ impl StagedDecoder {
                         let mb = (KMAX - zbp) as u8;
                         let total: u32 = segments.iter().map(|&(_, n)| n).sum();
                         if mb == 0 || total > 3 * mb as u32 - 2 {
-                            return Err(CodecError::malformed(
+                            let e = CodecError::malformed(
                                 "pass count exceeds the signalled bit-planes",
-                            ));
+                            )
+                            .in_tile(t);
+                            match sink.as_deref_mut() {
+                                Some(s) => {
+                                    record(s, e);
+                                    continue;
+                                }
+                                None => return Err(e),
+                            }
                         }
                         let refs: Vec<(&[u8], u32)> =
                             segments.iter().map(|(d, n)| (d.as_slice(), *n)).collect();
@@ -622,6 +775,9 @@ impl StagedDecoder {
                         }
                     }
                 }
+            }
+            if stream_dead {
+                break;
             }
         }
         Ok(TileCoeffs {
@@ -759,6 +915,129 @@ impl StagedDecoder {
 }
 
 // ---------------------------------------------------------------------------
+// Tolerant decoding
+// ---------------------------------------------------------------------------
+
+/// Which stage of a tolerant decode recorded a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeStage {
+    /// Codestream structure: tile-part headers, tile indexing.
+    TileParse,
+    /// Tier-2 packet parsing or MQ/Tier-1 entropy decoding.
+    Entropy,
+}
+
+/// One isolated failure from a tolerant decode.
+#[derive(Debug, Clone)]
+pub struct TileFailure {
+    /// The affected tile, when attributable to one.
+    pub tile: Option<usize>,
+    /// Where in the pipeline the damage surfaced.
+    pub stage: DecodeStage,
+    /// The underlying error, with its [`crate::error::ErrorSite`].
+    pub error: CodecError,
+}
+
+/// Everything [`decode_tolerant`] salvaged around: the failures it
+/// isolated instead of aborting the decode.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeReport {
+    /// Isolated failures, in discovery order (tile-parse first, then
+    /// entropy failures in tile order). Capped at
+    /// [`MAX_REPORTED_ERRORS`] entries.
+    pub failures: Vec<TileFailure>,
+}
+
+impl DecodeReport {
+    /// `true` when the stream decoded without any isolated failure —
+    /// the image is identical to what strict [`decode`] would produce.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Sorted, deduplicated indices of tiles with at least one failure.
+    pub fn failed_tiles(&self) -> Vec<usize> {
+        let mut tiles: Vec<usize> = self.failures.iter().filter_map(|f| f.tile).collect();
+        tiles.sort_unstable();
+        tiles.dedup();
+        tiles
+    }
+
+    fn record(&mut self, stage: DecodeStage, error: CodecError) {
+        if self.failures.len() < MAX_REPORTED_ERRORS {
+            self.failures.push(TileFailure {
+                tile: error.site().tile,
+                stage,
+                error,
+            });
+        }
+    }
+
+    pub(crate) fn record_parse(&mut self, error: CodecError) {
+        self.record(DecodeStage::TileParse, error);
+    }
+
+    pub(crate) fn record_entropy(&mut self, error: CodecError) {
+        self.record(DecodeStage::Entropy, error);
+    }
+
+    pub(crate) fn merge(&mut self, other: DecodeReport) {
+        for f in other.failures {
+            if self.failures.len() < MAX_REPORTED_ERRORS {
+                self.failures.push(f);
+            }
+        }
+    }
+}
+
+impl StagedDecoder {
+    /// Tolerantly runs the full per-tile pipeline (entropy → IQ → IDWT
+    /// → MCT → DC shift). Never fails: entropy damage is recorded in
+    /// `report` and the affected coefficients stay zero, which the
+    /// back half of the pipeline turns into mid-gray samples (zero
+    /// coefficients → zero samples → DC unshift to half-range).
+    pub fn decode_tile_tolerant_with(
+        &self,
+        t: usize,
+        scratch: &mut DecodeScratch,
+        report: &mut DecodeReport,
+    ) -> TileSamples {
+        let mut errors = Vec::new();
+        let coeffs = self.entropy_decode_tile_tolerant_with(t, scratch, &mut errors);
+        for e in errors {
+            report.record_entropy(e.in_tile(t));
+        }
+        let samples = self.idwt_tile_with(self.dequantize_tile(&coeffs), scratch);
+        self.dc_unshift_tile(self.inverse_mct_tile(samples))
+    }
+}
+
+/// Decodes as much of a possibly corrupt codestream as possible.
+///
+/// Failures are isolated at tile and code-block granularity: a corrupt
+/// tile yields a mid-gray (or partially decoded) region plus
+/// [`DecodeReport`] entries, while undamaged tiles reconstruct exactly
+/// as strict [`decode`] would. The output image always has the geometry
+/// the SIZ header declares.
+///
+/// # Errors
+///
+/// Only unusable main headers (damaged `SOC`/`SIZ`/`COD`/`QCD`, or
+/// geometry past [`MAX_DECODE_SAMPLES`]) — without a trusted header
+/// there is no geometry to place pixels in.
+pub fn decode_tolerant(bytes: &[u8]) -> CodecResult<(Image, DecodeReport)> {
+    let (dec, mut report) = StagedDecoder::new_tolerant(bytes)?;
+    let mut image = dec.blank_image();
+    let mut scratch = DecodeScratch::new();
+    for t in 0..dec.num_tiles() {
+        let samples = dec.decode_tile_tolerant_with(t, &mut scratch, &mut report);
+        dec.place_tile(&mut image, &samples);
+    }
+    Ok((image, report))
+}
+
+// ---------------------------------------------------------------------------
 // One-shot decode with stage timing
 // ---------------------------------------------------------------------------
 
@@ -846,6 +1125,11 @@ pub fn decode(bytes: &[u8]) -> CodecResult<DecodedImage> {
 /// block's coding passes reconstructs a coarser approximation of the
 /// same full-resolution image.
 ///
+/// Edge cases (all defined, none error): `max_layers == 0` is clamped
+/// to 1 — a zero-layer image has no meaning, so the coarsest
+/// approximation is returned (pinned by test); `max_layers` beyond the
+/// coded layer count decodes everything, identical to [`decode`].
+///
 /// # Errors
 ///
 /// Any [`CodecError`] from parsing or entropy decoding.
@@ -871,6 +1155,15 @@ pub fn decode_quality(bytes: &[u8], max_layers: usize) -> CodecResult<Image> {
 /// With `L` effective decomposition levels per tile and `max_res = r`,
 /// each tile shrinks by `2^(L−r)` in both directions (clamped to its
 /// effective level count).
+///
+/// Edge cases (all defined, none error):
+/// * `max_res >= L` is clamped — every resolution is decoded and the
+///   result equals the full-size [`decode`] image (pinned by test).
+/// * Tiles whose *own* effective level count is smaller than the first
+///   tile's (tiny edge tiles that cannot decompose as deeply) cannot
+///   shrink by the global factor; their reconstruction is cropped to
+///   the tile's slot in the scaled output grid, so mixed per-tile
+///   level counts never write out of bounds.
 ///
 /// # Errors
 ///
@@ -965,8 +1258,20 @@ pub fn decode_thumbnail(bytes: &[u8], max_res: usize) -> CodecResult<Image> {
         };
         let samples = dec.inverse_mct_tile(samples);
         let samples = dec.dc_unshift_tile(samples);
+        // The slot this tile owns in the scaled output. When the tile's
+        // own effective level count is below the global one (tiny edge
+        // tiles), `tw × th` is larger than the slot — crop, or the blit
+        // below would write past the image (decoder-reachable from a
+        // perfectly valid encode, e.g. 66×66 with 64×64 tiles).
+        let slot_w = (rect.x0 + rect.w).div_ceil(shrink) - samples.rect.x0;
+        let slot_h = (rect.y0 + rect.h).div_ceil(shrink) - samples.rect.y0;
+        let (cw, ch) = (tw.min(slot_w), th.min(slot_h));
         for (c, data) in samples.planes.iter().enumerate() {
-            let tile_plane = Plane::from_data(tw, th, data.clone());
+            let mut cropped = Vec::with_capacity(cw * ch);
+            for y in 0..ch {
+                cropped.extend_from_slice(&data[y * tw..y * tw + cw]);
+            }
+            let tile_plane = Plane::from_data(cw, ch, cropped);
             image.components[c].blit(samples.rect.x0, samples.rect.y0, &tile_plane);
         }
     }
@@ -1296,5 +1601,269 @@ mod tests {
         assert_eq!(dec.header().num_components, 3);
         let out = decode(&bytes).unwrap();
         assert_eq!(out.image, img);
+    }
+
+    #[test]
+    fn thumbnail_with_mixed_effective_levels_stays_in_bounds() {
+        // Regression (found by the fuzz-harness design audit): a 66×66
+        // image with 64×64 tiles has a 2×2 corner tile whose effective
+        // level count (1) is below the first tile's (3). The corner
+        // tile then cannot shrink by the global factor and its
+        // reconstruction used to blit past the scaled output image —
+        // a panic reachable from a perfectly valid encode.
+        let img = Image::synthetic_rgb(66, 66, 21);
+        let bytes = encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(64, 64)).unwrap();
+        for max_res in 0..=4 {
+            let thumb = decode_thumbnail(&bytes, max_res).expect("thumbnail");
+            let shrink = 1usize << 3usize.saturating_sub(max_res);
+            assert_eq!(thumb.width, 66usize.div_ceil(shrink), "max_res {max_res}");
+            assert_eq!(thumb.height, 66usize.div_ceil(shrink), "max_res {max_res}");
+        }
+    }
+
+    #[test]
+    fn thumbnail_at_or_beyond_coded_levels_is_the_full_image() {
+        // `max_res >= levels` is clamped: everything decodes, identical
+        // to the full-size decode.
+        let img = Image::synthetic_rgb(70, 50, 22);
+        let bytes = encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(32, 32)).unwrap();
+        let full = decode(&bytes).unwrap().image;
+        for max_res in [3, 4, 100, usize::MAX] {
+            assert_eq!(decode_thumbnail(&bytes, max_res).unwrap(), full);
+        }
+    }
+
+    #[test]
+    fn quality_zero_layers_is_clamped_to_one() {
+        // `max_layers == 0` means "no image" — defined as clamping to
+        // the coarsest approximation instead of an arithmetic accident.
+        let img = Image::synthetic_rgb(48, 48, 23);
+        let bytes = encode(
+            &img,
+            &EncodeParams::new(Mode::lossy_default())
+                .layers(4)
+                .tile_size(32, 32),
+        )
+        .unwrap();
+        assert_eq!(
+            decode_quality(&bytes, 0).unwrap(),
+            decode_quality(&bytes, 1).unwrap()
+        );
+        // And beyond the coded layer count decodes everything.
+        assert_eq!(
+            decode_quality(&bytes, usize::MAX).unwrap(),
+            decode(&bytes).unwrap().image
+        );
+    }
+
+    #[test]
+    fn truncated_layer_blocks_roundtrip_exactly() {
+        // The `LayeredBand::layer` invariant: blocks whose coding
+        // passes run out before the last layer contribute empty
+        // segments, written as "not included" in those layers' packets.
+        // A mostly-flat image maximises early-exhausted blocks; the
+        // full round-trip must still be bit-exact and every layer
+        // prefix must decode cleanly.
+        let mut img = Image::new(64, 64, 8, 1);
+        img.components[0].data[0] = 200; // one busy corner block
+        for i in 0..64 {
+            img.components[0].data[i * 64 + i] = (i as i32) * 3;
+        }
+        let bytes = encode(&img, &EncodeParams::new(Mode::Lossless).layers(8)).unwrap();
+        assert_eq!(decode(&bytes).unwrap().image, img);
+        for l in 1..=8 {
+            decode_quality(&bytes, l).expect("every layer prefix decodes");
+        }
+    }
+
+    #[test]
+    fn tolerant_decode_of_a_clean_stream_matches_strict() {
+        let img = Image::synthetic_rgb(70, 50, 24);
+        let bytes = encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(32, 32)).unwrap();
+        let (tolerant, report) = decode_tolerant(&bytes).unwrap();
+        assert!(report.is_clean(), "unexpected failures: {report:?}");
+        assert_eq!(tolerant, decode(&bytes).unwrap().image);
+    }
+
+    #[test]
+    fn tolerant_isolates_a_single_corrupt_tile() {
+        // The acceptance scenario: exactly one tile body corrupted.
+        // Every other tile must reconstruct bit-exact against the clean
+        // decode, and the report must name the damaged tile.
+        let img = Image::synthetic_rgb(96, 96, 25);
+        let bytes = encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(32, 32)).unwrap();
+        let clean = decode(&bytes).unwrap().image;
+        let corrupt_tile = 4usize;
+        let segs = crate::fuzz::scan_markers(&bytes);
+        let sot = segs
+            .iter()
+            .filter(|s| s.marker == crate::codestream::MARKER_SOT)
+            .nth(corrupt_tile)
+            .copied()
+            .expect("tile-part present");
+        let mut bad = bytes.clone();
+        // Overwrite the tile body (after the 14-byte SOT..SOD header)
+        // with 0xFF — structurally poisonous bytes.
+        for b in &mut bad[sot.offset + 14..sot.offset + sot.len] {
+            *b = 0xFF;
+        }
+        let (image, report) = decode_tolerant(&bad).unwrap();
+        assert_eq!(report.failed_tiles(), vec![corrupt_tile]);
+        let grid = TileGrid::new(96, 96, 32, 32);
+        let rect = grid.tile_rect(corrupt_tile);
+        for (c, comp) in image.components.iter().enumerate() {
+            for y in 0..96 {
+                for x in 0..96 {
+                    let inside = (rect.x0..rect.x0 + rect.w).contains(&x)
+                        && (rect.y0..rect.y0 + rect.h).contains(&y);
+                    if !inside {
+                        assert_eq!(
+                            comp.data[y * 96 + x],
+                            clean.components[c].data[y * 96 + x],
+                            "component {c} pixel ({x},{y}) must be untouched"
+                        );
+                    }
+                }
+            }
+        }
+        // The parallel tolerant backend produces the same image and
+        // names the same tile.
+        let (par_image, par_report) = crate::parallel::decode_tolerant_parallel(&bad, 4).unwrap();
+        assert_eq!(par_image, image);
+        assert_eq!(par_report.failed_tiles(), vec![corrupt_tile]);
+    }
+
+    #[test]
+    fn tolerant_survives_truncation_and_keeps_leading_tiles() {
+        // Cut the stream in the middle of tile 2 of 4: tiles 0 and 1
+        // must stay bit-exact, the rest render mid-gray, and the output
+        // geometry always matches SIZ.
+        let img = Image::synthetic_rgb(64, 64, 26);
+        let bytes = encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(32, 32)).unwrap();
+        let clean = decode(&bytes).unwrap().image;
+        let segs = crate::fuzz::scan_markers(&bytes);
+        let sot2 = segs
+            .iter()
+            .filter(|s| s.marker == crate::codestream::MARKER_SOT)
+            .nth(2)
+            .copied()
+            .unwrap();
+        let cut = &bytes[..sot2.offset + sot2.len / 2];
+        let (image, report) = decode_tolerant(cut).unwrap();
+        assert_eq!(image.width, 64);
+        assert_eq!(image.height, 64);
+        assert!(!report.is_clean());
+        assert!(report.failed_tiles().contains(&3), "missing tile reported");
+        let grid = TileGrid::new(64, 64, 32, 32);
+        for t in [0usize, 1] {
+            let rect = grid.tile_rect(t);
+            for (c, comp) in image.components.iter().enumerate() {
+                for y in rect.y0..rect.y0 + rect.h {
+                    for x in rect.x0..rect.x0 + rect.w {
+                        assert_eq!(
+                            comp.data[y * 64 + x],
+                            clean.components[c].data[y * 64 + x],
+                            "tile {t} component {c} pixel ({x},{y})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tolerant_renders_missing_tiles_mid_gray() {
+        // A stream truncated right before its last tile-part: the
+        // missing tile's region is exactly mid-gray (zero coefficients
+        // through IDWT and DC unshift), not uninitialised data.
+        let img = Image::synthetic_grey(64, 64, 27);
+        let bytes = encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(32, 32)).unwrap();
+        let segs = crate::fuzz::scan_markers(&bytes);
+        let last_sot = segs
+            .iter()
+            .filter(|s| s.marker == crate::codestream::MARKER_SOT)
+            .nth(3)
+            .copied()
+            .unwrap();
+        let cut = &bytes[..last_sot.offset];
+        let (image, report) = decode_tolerant(cut).unwrap();
+        assert!(report.failed_tiles().contains(&3));
+        let grid = TileGrid::new(64, 64, 32, 32);
+        let rect = grid.tile_rect(3);
+        for y in rect.y0..rect.y0 + rect.h {
+            for x in rect.x0..rect.x0 + rect.w {
+                assert_eq!(image.components[0].data[y * 64 + x], 128, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_geometry_never_reaches_the_tagtree_assert() {
+        // `TagTree::new` asserts non-empty grids. The audit (see t2.rs)
+        // shows every decode-path call clamps with `.max(1)`; this pins
+        // the headers that come closest — 1-pixel-wide/tall tiles and
+        // deep decompositions whose upper bands are zero-size, with the
+        // smallest legal code-blocks.
+        for (w, h) in [(1usize, 1usize), (1, 64), (64, 1), (2, 3), (3, 65)] {
+            let img = Image::synthetic_grey(w, h, 30);
+            let mut params = EncodeParams::new(Mode::Lossless).levels(8);
+            params.cb_exp = 2;
+            let bytes = encode(&img, &params).unwrap();
+            let out = decode(&bytes).expect("decode");
+            assert_eq!(out.image, img, "{w}x{h}");
+            for max_res in 0..=3 {
+                decode_thumbnail(&bytes, max_res).expect("thumbnail");
+            }
+            let (_, report) = decode_tolerant(&bytes).unwrap();
+            assert!(report.is_clean());
+        }
+    }
+
+    #[test]
+    fn oversized_cod_levels_is_rejected_with_site() {
+        // COD levels byte beyond MAX_LEVELS (32) is corruption; the
+        // error must carry the marker and offset.
+        let img = Image::synthetic_grey(32, 32, 28);
+        let mut bytes = encode(&img, &EncodeParams::new(Mode::Lossless)).unwrap();
+        // COD: SOC(2) + SIZ(2+2+16+2+1) + marker(2) + len(2) → levels byte.
+        let segs = crate::fuzz::scan_markers(&bytes);
+        let cod = segs
+            .iter()
+            .find(|s| s.marker == crate::codestream::MARKER_COD)
+            .copied()
+            .unwrap();
+        bytes[cod.offset + 4] = 200;
+        let err = decode(&bytes).unwrap_err();
+        match &err {
+            CodecError::Malformed { detail, site } => {
+                assert!(detail.contains("exceeds"), "{detail}");
+                assert_eq!(site.marker, Some("COD"));
+                assert!(site.offset.is_some());
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packet_errors_carry_tile_and_offset_context() {
+        // Tier-2 failures deep inside a tile must surface with the tile
+        // index and a tile-relative byte offset attached.
+        let img = Image::synthetic_rgb(64, 64, 29);
+        let bytes = encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(32, 32)).unwrap();
+        let segs = crate::fuzz::scan_markers(&bytes);
+        let sot1 = segs
+            .iter()
+            .filter(|s| s.marker == crate::codestream::MARKER_SOT)
+            .nth(1)
+            .copied()
+            .unwrap();
+        let mut bad = bytes.clone();
+        for b in &mut bad[sot1.offset + 14..sot1.offset + sot1.len] {
+            *b = 0xFF;
+        }
+        let err = decode(&bad).unwrap_err();
+        let site = err.site();
+        assert_eq!(site.tile, Some(1), "error: {err}");
+        assert!(site.offset.is_some(), "error: {err}");
     }
 }

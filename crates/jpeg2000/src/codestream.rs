@@ -170,7 +170,7 @@ impl<'a> Reader<'a> {
         let v = *self
             .data
             .get(self.pos)
-            .ok_or(CodecError::Truncated { context: ctx })?;
+            .ok_or_else(|| CodecError::truncated(ctx).at_offset(self.pos))?;
         self.pos += 1;
         Ok(v)
     }
@@ -181,115 +181,125 @@ impl<'a> Reader<'a> {
         Ok(((self.u16(ctx)? as u32) << 16) | self.u16(ctx)? as u32)
     }
     fn bytes(&mut self, n: usize, ctx: &'static str) -> CodecResult<&'a [u8]> {
-        if self.pos + n > self.data.len() {
-            return Err(CodecError::Truncated { context: ctx });
+        // `pos + n` cannot overflow in practice (`pos <= len` and `n`
+        // comes from a 32-bit field), but stay overflow-proof anyway.
+        if n > self.data.len() - self.pos {
+            return Err(CodecError::truncated(ctx).at_offset(self.data.len()));
         }
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
+    /// A malformed-field error anchored at the current read position.
+    fn bad(&self, detail: impl Into<String>) -> CodecError {
+        CodecError::malformed(detail).at_offset(self.pos)
+    }
 }
 
-/// Parses and validates a codestream into its header and tile segments.
-///
-/// # Errors
-///
-/// [`CodecError::Truncated`] or [`CodecError::Malformed`] on any
-/// inconsistency (wrong markers, bad lengths, invalid field values).
-pub fn parse_codestream(bytes: &[u8]) -> CodecResult<(MainHeader, Vec<TileSegment>)> {
-    let mut r = Reader {
-        data: bytes,
-        pos: 0,
-    };
+/// Most decomposition levels any conforming stream can use (T.800 caps
+/// the COD field at 32); a larger value is corruption, not ambition.
+pub const MAX_LEVELS: u8 = 32;
+
+/// Parses the main header (`SOC` through `QCD`), leaving the reader at
+/// the first tile-part marker.
+fn parse_main_header(r: &mut Reader<'_>) -> CodecResult<MainHeader> {
     if r.u16("SOC")? != MARKER_SOC {
-        return Err(CodecError::malformed("missing SOC marker"));
+        return Err(r.bad("missing SOC marker"));
     }
     if r.u16("SIZ marker")? != MARKER_SIZ {
-        return Err(CodecError::malformed("expected SIZ after SOC"));
+        return Err(r.bad("expected SIZ after SOC").in_marker("SIZ"));
     }
-    let siz_len = r.u16("SIZ length")? as usize;
-    let width = r.u32("SIZ width")?;
-    let height = r.u32("SIZ height")?;
-    let tile_w = r.u32("SIZ tile width")?;
-    let tile_h = r.u32("SIZ tile height")?;
-    let num_components = r.u16("SIZ components")?;
+    let siz = |e: CodecError| e.in_marker("SIZ");
+    let siz_len = r.u16("SIZ length").map_err(siz)? as usize;
+    let width = r.u32("SIZ width").map_err(siz)?;
+    let height = r.u32("SIZ height").map_err(siz)?;
+    let tile_w = r.u32("SIZ tile width").map_err(siz)?;
+    let tile_h = r.u32("SIZ tile height").map_err(siz)?;
+    let num_components = r.u16("SIZ components").map_err(siz)?;
     if width == 0 || height == 0 || tile_w == 0 || tile_h == 0 {
-        return Err(CodecError::malformed("zero dimension in SIZ"));
+        return Err(siz(r.bad("zero dimension in SIZ")));
     }
     if num_components == 0 || siz_len != 2 + 16 + 2 + num_components as usize {
-        return Err(CodecError::malformed("inconsistent SIZ length"));
+        return Err(siz(r.bad("inconsistent SIZ length")));
     }
     let mut depth = 0u8;
     for c in 0..num_components {
-        let d = r.u8("SIZ depth")? + 1;
+        let d = r.u8("SIZ depth").map_err(siz)?.wrapping_add(1);
         if c == 0 {
             depth = d;
         } else if d != depth {
-            return Err(CodecError::malformed("heterogeneous component depths"));
+            return Err(siz(r.bad("heterogeneous component depths")));
         }
     }
     if !(1..=16).contains(&depth) {
-        return Err(CodecError::malformed("unsupported bit depth"));
+        return Err(siz(r.bad("unsupported bit depth")));
     }
 
     if r.u16("COD marker")? != MARKER_COD {
-        return Err(CodecError::malformed("expected COD after SIZ"));
+        return Err(r.bad("expected COD after SIZ").in_marker("COD"));
     }
-    if r.u16("COD length")? != 7 {
-        return Err(CodecError::malformed("bad COD length"));
+    let cod = |e: CodecError| e.in_marker("COD");
+    if r.u16("COD length").map_err(cod)? != 7 {
+        return Err(cod(r.bad("bad COD length")));
     }
-    let levels = r.u8("COD levels")?;
-    let layers = r.u8("COD layers")?;
+    let levels = r.u8("COD levels").map_err(cod)?;
+    if levels > MAX_LEVELS {
+        return Err(cod(r.bad(format!(
+            "decomposition level count {levels} exceeds {MAX_LEVELS}"
+        ))));
+    }
+    let layers = r.u8("COD layers").map_err(cod)?;
     if layers == 0 {
-        return Err(CodecError::malformed("zero quality layers"));
+        return Err(cod(r.bad("zero quality layers")));
     }
-    let cb_exp = r.u8("COD code-block exponent")?;
+    let cb_exp = r.u8("COD code-block exponent").map_err(cod)?;
     if !(2..=10).contains(&cb_exp) {
-        return Err(CodecError::malformed("code-block exponent out of range"));
+        return Err(cod(r.bad("code-block exponent out of range")));
     }
-    let wavelet = match r.u8("COD wavelet")? {
+    let wavelet = match r.u8("COD wavelet").map_err(cod)? {
         0 => Wavelet::W97,
         1 => Wavelet::W53,
-        v => return Err(CodecError::malformed(format!("unknown wavelet id {v}"))),
+        v => return Err(cod(r.bad(format!("unknown wavelet id {v}")))),
     };
-    let use_mct = match r.u8("COD mct")? {
+    let use_mct = match r.u8("COD mct").map_err(cod)? {
         0 => false,
         1 => true,
-        v => return Err(CodecError::malformed(format!("bad MCT flag {v}"))),
+        v => return Err(cod(r.bad(format!("bad MCT flag {v}")))),
     };
 
     if r.u16("QCD marker")? != MARKER_QCD {
-        return Err(CodecError::malformed("expected QCD after COD"));
+        return Err(r.bad("expected QCD after COD").in_marker("QCD"));
     }
-    let qcd_len = r.u16("QCD length")?;
-    let quant = match r.u8("QCD mode")? {
+    let qcd = |e: CodecError| e.in_marker("QCD");
+    let qcd_len = r.u16("QCD length").map_err(qcd)?;
+    let quant = match r.u8("QCD mode").map_err(qcd)? {
         0 => {
             if qcd_len != 3 {
-                return Err(CodecError::malformed("bad QCD length (reversible)"));
+                return Err(qcd(r.bad("bad QCD length (reversible)")));
             }
             QuantSpec::Reversible
         }
         1 => {
             if qcd_len != 7 {
-                return Err(CodecError::malformed("bad QCD length (irreversible)"));
+                return Err(qcd(r.bad("bad QCD length (irreversible)")));
             }
-            let fixed = r.u32("QCD step")?;
+            let fixed = r.u32("QCD step").map_err(qcd)?;
             if fixed == 0 {
-                return Err(CodecError::malformed("zero quantisation step"));
+                return Err(qcd(r.bad("zero quantisation step")));
             }
             QuantSpec::Irreversible {
                 base_step: fixed as f64 / 65_536.0,
             }
         }
-        v => return Err(CodecError::malformed(format!("unknown QCD mode {v}"))),
+        v => return Err(qcd(r.bad(format!("unknown QCD mode {v}")))),
     };
     // Consistency: wavelet and quantisation must pair up.
     match (wavelet, quant) {
         (Wavelet::W53, QuantSpec::Reversible) | (Wavelet::W97, QuantSpec::Irreversible { .. }) => {}
-        _ => return Err(CodecError::malformed("wavelet/quantisation mismatch")),
+        _ => return Err(qcd(r.bad("wavelet/quantisation mismatch"))),
     }
 
-    let header = MainHeader {
+    Ok(MainHeader {
         width,
         height,
         tile_w,
@@ -302,37 +312,129 @@ pub fn parse_codestream(bytes: &[u8]) -> CodecResult<(MainHeader, Vec<TileSegmen
         use_mct,
         wavelet,
         quant,
-    };
+    })
+}
 
-    // Tile-parts until EOC.
+/// Parses the next tile-part. `Ok(None)` at `EOC`.
+fn parse_tile_part(r: &mut Reader<'_>) -> CodecResult<Option<TileSegment>> {
+    let marker_pos = r.pos;
+    let marker = r.u16("tile marker")?;
+    if marker == MARKER_EOC {
+        return Ok(None);
+    }
+    if marker != MARKER_SOT {
+        return Err(
+            CodecError::malformed(format!("expected SOT or EOC, found {marker:#06x}"))
+                .at_offset(marker_pos),
+        );
+    }
+    let sot = |e: CodecError| e.in_marker("SOT");
+    if r.u16("SOT length").map_err(sot)? != 10 {
+        return Err(sot(r.bad("bad SOT length")));
+    }
+    let index = r.u16("SOT tile index").map_err(sot)?;
+    let psot = r.u32("SOT Psot").map_err(sot)? as usize;
+    let _tpsot = r.u8("SOT TPsot").map_err(sot)?;
+    let _tnsot = r.u8("SOT TNsot").map_err(sot)?;
+    if r.u16("SOD").map_err(sot)? != MARKER_SOD {
+        return Err(sot(r.bad("expected SOD in tile-part")).in_tile(index as usize));
+    }
+    if psot < 14 {
+        return Err(sot(r.bad("Psot shorter than tile-part header")).in_tile(index as usize));
+    }
+    let data = r
+        .bytes(psot - 14, "tile data")
+        .map_err(|e| sot(e).in_tile(index as usize))?
+        .to_vec();
+    Ok(Some(TileSegment { index, data }))
+}
+
+/// Parses and validates a codestream into its header and tile segments.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] or [`CodecError::Malformed`] on any
+/// inconsistency (wrong markers, bad lengths, invalid field values),
+/// with the byte offset and enclosing marker recorded in the error's
+/// [`crate::error::ErrorSite`].
+pub fn parse_codestream(bytes: &[u8]) -> CodecResult<(MainHeader, Vec<TileSegment>)> {
+    let mut r = Reader {
+        data: bytes,
+        pos: 0,
+    };
+    let header = parse_main_header(&mut r)?;
     let mut tiles = Vec::new();
-    loop {
-        let marker = r.u16("tile marker")?;
-        if marker == MARKER_EOC {
-            break;
-        }
-        if marker != MARKER_SOT {
-            return Err(CodecError::malformed(format!(
-                "expected SOT or EOC, found {marker:#06x}"
-            )));
-        }
-        if r.u16("SOT length")? != 10 {
-            return Err(CodecError::malformed("bad SOT length"));
-        }
-        let index = r.u16("SOT tile index")?;
-        let psot = r.u32("SOT Psot")? as usize;
-        let _tpsot = r.u8("SOT TPsot")?;
-        let _tnsot = r.u8("SOT TNsot")?;
-        if r.u16("SOD")? != MARKER_SOD {
-            return Err(CodecError::malformed("expected SOD in tile-part"));
-        }
-        if psot < 14 {
-            return Err(CodecError::malformed("Psot shorter than tile-part header"));
-        }
-        let data = r.bytes(psot - 14, "tile data")?.to_vec();
-        tiles.push(TileSegment { index, data });
+    while let Some(t) = parse_tile_part(&mut r)? {
+        tiles.push(t);
     }
     Ok((header, tiles))
+}
+
+/// The outcome of [`parse_codestream_tolerant`]: everything salvageable
+/// from a possibly damaged stream.
+#[derive(Debug, Clone)]
+pub struct TolerantParse {
+    /// The main header (always fully validated — see
+    /// [`parse_codestream_tolerant`]).
+    pub header: MainHeader,
+    /// Every tile segment that could be recovered, in stream order.
+    pub tiles: Vec<TileSegment>,
+    /// Structural errors encountered in the tile-part section, each with
+    /// its [`crate::error::ErrorSite`].
+    pub errors: Vec<CodecError>,
+}
+
+/// Parses as much of a codestream as possible.
+///
+/// The main header is parsed *strictly* — without trusted geometry no
+/// pixel can be placed, so main-header damage is returned as `Err`.
+/// The tile-part section is parsed *tolerantly*: a damaged tile-part is
+/// recorded in [`TolerantParse::errors`] and the parser resynchronises
+/// by scanning forward for the next `SOT` marker (tile bodies cannot
+/// contain one: both the MQ coder and the packet-header bit stuffing
+/// keep `0xFF90..=0xFFFF` sequences out of entropy data). A missing
+/// `EOC` simply ends the stream.
+///
+/// # Errors
+///
+/// Only main-header failures; tile-section damage never fails the call.
+pub fn parse_codestream_tolerant(bytes: &[u8]) -> CodecResult<TolerantParse> {
+    let mut r = Reader {
+        data: bytes,
+        pos: 0,
+    };
+    let header = parse_main_header(&mut r)?;
+    let mut tiles = Vec::new();
+    let mut errors = Vec::new();
+    loop {
+        if r.pos >= bytes.len() {
+            errors.push(CodecError::truncated("EOC").at_offset(bytes.len()));
+            break;
+        }
+        let before = r.pos;
+        match parse_tile_part(&mut r) {
+            Ok(Some(t)) => tiles.push(t),
+            Ok(None) => break,
+            Err(e) => {
+                errors.push(e);
+                // Resynchronise: scan for the next SOT (or EOC) marker
+                // strictly after the failed attempt's start.
+                let from = (before + 1).min(bytes.len());
+                let next = bytes[from..]
+                    .windows(2)
+                    .position(|w| w == MARKER_SOT.to_be_bytes() || w == MARKER_EOC.to_be_bytes());
+                match next {
+                    Some(off) => r.pos = from + off,
+                    None => break,
+                }
+            }
+        }
+    }
+    Ok(TolerantParse {
+        header,
+        tiles,
+        errors,
+    })
 }
 
 #[cfg(test)]

@@ -1,7 +1,52 @@
 //! Codec error type.
+//!
+//! Every decode-path error carries an [`ErrorSite`] — the byte offset,
+//! enclosing marker segment and tile where parsing failed — so a fuzz
+//! failure or a user bug report names the exact spot in the stream
+//! instead of just the kind of damage.
 
 use std::error::Error;
 use std::fmt;
+
+/// Where in a codestream an error was detected. All fields are
+/// best-effort: parsers fill in what they know and leave the rest
+/// `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ErrorSite {
+    /// Byte offset of the failure. For errors raised inside a tile's
+    /// packet data this is relative to the start of that tile's
+    /// bitstream (the byte after `SOD`); for main-header and tile-part
+    /// errors it is absolute within the codestream.
+    pub offset: Option<usize>,
+    /// The enclosing marker segment (`"SIZ"`, `"COD"`, `"SOT"`, …).
+    pub marker: Option<&'static str>,
+    /// The enclosing tile index, for errors inside tile data.
+    pub tile: Option<usize>,
+}
+
+impl ErrorSite {
+    fn is_empty(&self) -> bool {
+        self.offset.is_none() && self.marker.is_none() && self.tile.is_none()
+    }
+}
+
+impl fmt::Display for ErrorSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sep = "";
+        if let Some(o) = self.offset {
+            write!(f, "byte {o}")?;
+            sep = ", ";
+        }
+        if let Some(m) = self.marker {
+            write!(f, "{sep}in {m}")?;
+            sep = ", ";
+        }
+        if let Some(t) = self.tile {
+            write!(f, "{sep}tile {t}")?;
+        }
+        Ok(())
+    }
+}
 
 /// Errors produced while encoding or decoding a codestream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -11,11 +56,15 @@ pub enum CodecError {
     Truncated {
         /// What was being parsed when the data ran out.
         context: &'static str,
+        /// Where the data ran out.
+        site: ErrorSite,
     },
     /// A marker or field value is not what the parser expected.
     Malformed {
         /// Human-readable description of the inconsistency.
         detail: String,
+        /// Where the inconsistency was found.
+        site: ErrorSite,
     },
     /// Encode-side parameter validation failure.
     InvalidParams {
@@ -25,9 +74,17 @@ pub enum CodecError {
 }
 
 impl CodecError {
+    pub(crate) fn truncated(context: &'static str) -> Self {
+        CodecError::Truncated {
+            context,
+            site: ErrorSite::default(),
+        }
+    }
+
     pub(crate) fn malformed(detail: impl Into<String>) -> Self {
         CodecError::Malformed {
             detail: detail.into(),
+            site: ErrorSite::default(),
         }
     }
 
@@ -36,15 +93,76 @@ impl CodecError {
             detail: detail.into(),
         }
     }
+
+    /// The error's location info ([`ErrorSite::default`] for
+    /// [`CodecError::InvalidParams`], which has no stream position).
+    pub fn site(&self) -> ErrorSite {
+        match self {
+            CodecError::Truncated { site, .. } | CodecError::Malformed { site, .. } => *site,
+            CodecError::InvalidParams { .. } => ErrorSite::default(),
+        }
+    }
+
+    fn site_mut(&mut self) -> Option<&mut ErrorSite> {
+        match self {
+            CodecError::Truncated { site, .. } | CodecError::Malformed { site, .. } => Some(site),
+            CodecError::InvalidParams { .. } => None,
+        }
+    }
+
+    /// Records the byte offset where the error occurred, if not already
+    /// set by a more deeply nested parser.
+    pub(crate) fn at_offset(mut self, offset: usize) -> Self {
+        if let Some(site) = self.site_mut() {
+            site.offset.get_or_insert(offset);
+        }
+        self
+    }
+
+    /// Records the enclosing marker segment, if not already set.
+    pub(crate) fn in_marker(mut self, marker: &'static str) -> Self {
+        if let Some(site) = self.site_mut() {
+            site.marker.get_or_insert(marker);
+        }
+        self
+    }
+
+    /// Records the enclosing tile, if not already set.
+    pub(crate) fn in_tile(mut self, tile: usize) -> Self {
+        if let Some(site) = self.site_mut() {
+            site.tile.get_or_insert(tile);
+        }
+        self
+    }
+
+    /// Shifts a nested parser's relative offset into the caller's frame:
+    /// the inner offset (0 when the inner parser recorded none) plus
+    /// `base`.
+    pub(crate) fn rebase_offset(mut self, base: usize) -> Self {
+        if let Some(site) = self.site_mut() {
+            site.offset = Some(base + site.offset.unwrap_or(0));
+        }
+        self
+    }
 }
 
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodecError::Truncated { context } => {
-                write!(f, "codestream truncated while reading {context}")
+            CodecError::Truncated { context, site } => {
+                write!(f, "codestream truncated while reading {context}")?;
+                if !site.is_empty() {
+                    write!(f, " ({site})")?;
+                }
+                Ok(())
             }
-            CodecError::Malformed { detail } => write!(f, "malformed codestream: {detail}"),
+            CodecError::Malformed { detail, site } => {
+                write!(f, "malformed codestream: {detail}")?;
+                if !site.is_empty() {
+                    write!(f, " ({site})")?;
+                }
+                Ok(())
+            }
             CodecError::InvalidParams { detail } => write!(f, "invalid parameters: {detail}"),
         }
     }
@@ -61,7 +179,7 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = CodecError::Truncated { context: "SIZ" };
+        let e = CodecError::truncated("SIZ");
         assert_eq!(e.to_string(), "codestream truncated while reading SIZ");
         assert!(CodecError::malformed("bad marker")
             .to_string()
@@ -69,5 +187,46 @@ mod tests {
         assert!(CodecError::invalid("tile size 0")
             .to_string()
             .contains("tile size 0"));
+    }
+
+    #[test]
+    fn display_includes_site() {
+        let e = CodecError::truncated("SIZ width")
+            .at_offset(12)
+            .in_marker("SIZ");
+        assert_eq!(
+            e.to_string(),
+            "codestream truncated while reading SIZ width (byte 12, in SIZ)"
+        );
+        let e = CodecError::malformed("bad pass count")
+            .in_tile(7)
+            .at_offset(3);
+        assert_eq!(
+            e.to_string(),
+            "malformed codestream: bad pass count (byte 3, tile 7)"
+        );
+    }
+
+    #[test]
+    fn site_setters_do_not_clobber_nested_info() {
+        // The innermost parser knows best: outer wrappers must not
+        // overwrite an already-recorded marker/tile, and rebasing adds
+        // the caller's base to the relative offset.
+        let inner = CodecError::truncated("packet header bits").at_offset(5);
+        let outer = inner.rebase_offset(100).in_tile(3).in_tile(9);
+        assert_eq!(
+            outer.site(),
+            ErrorSite {
+                offset: Some(105),
+                marker: None,
+                tile: Some(3),
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_params_has_no_site() {
+        let e = CodecError::invalid("x").at_offset(1).in_tile(2);
+        assert_eq!(e.site(), ErrorSite::default());
     }
 }

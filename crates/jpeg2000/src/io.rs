@@ -73,9 +73,7 @@ impl Cursor<'_> {
             self.pos += 1;
         }
         if start == self.pos {
-            return Err(CodecError::Truncated {
-                context: "PNM header",
-            });
+            return Err(CodecError::truncated("PNM header").at_offset(self.pos));
         }
         Ok(&self.data[start..self.pos])
     }
@@ -120,11 +118,15 @@ pub fn read_pnm(data: &[u8]) -> CodecResult<Image> {
     }
     // Exactly one whitespace byte separates the header from the raster.
     cur.pos += 1;
-    let need = width * height * ncomp;
-    if data.len() < cur.pos + need {
-        return Err(CodecError::Truncated {
-            context: "PNM raster",
-        });
+    // Header dimensions are untrusted: the product can overflow `usize`
+    // (a debug-build panic) and must in any case never exceed the raster
+    // actually present, so check before allocating anything.
+    let need = width
+        .checked_mul(height)
+        .and_then(|s| s.checked_mul(ncomp))
+        .ok_or_else(|| CodecError::malformed("PNM dimensions overflow"))?;
+    if data.len().saturating_sub(cur.pos) < need {
+        return Err(CodecError::truncated("PNM raster").at_offset(data.len()));
     }
     let raster = &data[cur.pos..cur.pos + need];
     let mut image = Image::new(width, height, 8, ncomp);

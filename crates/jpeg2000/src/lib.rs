@@ -28,6 +28,10 @@
 //!   native mirror of the paper's 1/2/4-pipeline model versions.
 //! * [`scratch`] — the [`scratch::DecodeScratch`] arena of reusable
 //!   Tier-1/DWT buffers (one per decode, or one per parallel worker).
+//! * [`fuzz`] — deterministic structure-aware mutation engine for
+//!   fault-injection testing of the whole decode surface (see
+//!   `tests/fuzz_decode.rs`); [`codec::decode_tolerant`] is the
+//!   error-resilient entry point it exercises.
 //!
 //! ## Example
 //!
@@ -49,6 +53,7 @@ pub mod codestream;
 pub mod ct;
 pub mod dwt;
 pub mod error;
+pub mod fuzz;
 pub mod image;
 pub mod io;
 pub mod mq;

@@ -26,8 +26,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use crate::codec::{DecodeTimings, DecodedImage, StagedDecoder, TileSamples};
+use crate::codec::{DecodeReport, DecodeTimings, DecodedImage, StagedDecoder, TileSamples};
 use crate::error::CodecResult;
+use crate::image::Image;
 use crate::scratch::DecodeScratch;
 
 /// Builder-style handle for tile-parallel decoding: the `workers(n)`
@@ -62,6 +63,17 @@ impl ParallelDecoder {
     /// returned, matching the sequential tile order.
     pub fn decode(&self, bytes: &[u8]) -> CodecResult<DecodedImage> {
         decode_parallel(bytes, self.workers)
+    }
+
+    /// Tolerant variant of [`Self::decode`] — see
+    /// [`decode_tolerant_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Main-header failures only, as in
+    /// [`decode_tolerant`](crate::codec::decode_tolerant).
+    pub fn decode_tolerant(&self, bytes: &[u8]) -> CodecResult<(Image, DecodeReport)> {
+        decode_tolerant_parallel(bytes, self.workers)
     }
 }
 
@@ -168,6 +180,79 @@ pub fn decode_parallel(bytes: &[u8], workers: usize) -> CodecResult<DecodedImage
         timings.dc_shift += tile_timings.dc_shift;
     }
     Ok(DecodedImage { image, timings })
+}
+
+/// One worker's claim-decode loop for tolerant decoding: like
+/// [`run_worker`], but per-tile failures are collected into a local
+/// [`DecodeReport`] instead of aborting — no tile's damage can mask
+/// another worker's progress.
+fn run_worker_tolerant(
+    dec: &StagedDecoder,
+    next: &AtomicUsize,
+    num_tiles: usize,
+) -> Vec<(usize, TileSamples, DecodeReport)> {
+    let mut done = Vec::new();
+    let mut scratch = DecodeScratch::new();
+    loop {
+        let t = next.fetch_add(1, Ordering::Relaxed);
+        if t >= num_tiles {
+            return done;
+        }
+        let mut report = DecodeReport::default();
+        let samples = dec.decode_tile_tolerant_with(t, &mut scratch, &mut report);
+        done.push((t, samples, report));
+    }
+}
+
+/// Tolerant decoding with `workers` parallel tile pipelines — the
+/// parallel form of [`decode_tolerant`](crate::codec::decode_tolerant).
+/// Each worker collects its own failures; the merged [`DecodeReport`]
+/// lists them in tile order (after the tile-parse failures), identical
+/// to the sequential tolerant decoder's report up to error-cap
+/// truncation order.
+///
+/// # Errors
+///
+/// Main-header failures only.
+pub fn decode_tolerant_parallel(
+    bytes: &[u8],
+    workers: usize,
+) -> CodecResult<(Image, DecodeReport)> {
+    let (dec, mut report) = StagedDecoder::new_tolerant(bytes)?;
+    let num_tiles = dec.num_tiles();
+    let workers = match workers {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+    .min(num_tiles.max(1));
+
+    let next = AtomicUsize::new(0);
+    let mut per_tile: Vec<(usize, TileSamples, DecodeReport)> = if workers <= 1 {
+        run_worker_tolerant(&dec, &next, num_tiles)
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| scope.spawn(|| run_worker_tolerant(&dec, &next, num_tiles)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    };
+
+    per_tile.sort_by_key(|&(t, _, _)| t);
+    let mut image = dec.blank_image();
+    for (_, samples, tile_report) in per_tile {
+        dec.place_tile(&mut image, &samples);
+        report.merge(tile_report);
+    }
+    Ok((image, report))
 }
 
 #[cfg(test)]

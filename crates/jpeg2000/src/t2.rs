@@ -103,9 +103,10 @@ impl<'a> BitReader<'a> {
     /// [`CodecError::Truncated`] at end of data.
     pub fn get_bit(&mut self) -> CodecResult<bool> {
         if self.nbits == 0 {
-            let byte = *self.data.get(self.pos).ok_or(CodecError::Truncated {
-                context: "packet header bits",
-            })?;
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or_else(|| CodecError::truncated("packet header bits").at_offset(self.pos))?;
             self.pos += 1;
             if self.prev_ff {
                 // Skip the stuffed MSB.
@@ -204,7 +205,12 @@ impl TagTree {
     ///
     /// # Panics
     ///
-    /// Panics if `w` or `h` is zero.
+    /// Panics if `w` or `h` is zero. Audit (untrusted-byte safety): the
+    /// decode path builds tag trees only in [`read_packet`], which
+    /// clamps both grid dimensions with `.max(1)`, and `codec.rs`
+    /// builds its grids with `div_ceil(..).max(1)` — so no header field
+    /// parsed from a codestream can reach this assert. The encoder
+    /// calls it with dimensions of real (non-empty) code-block grids.
     pub fn new(w: usize, h: usize) -> Self {
         assert!(w > 0 && h > 0, "tag tree needs at least one leaf");
         let mut dims = vec![(w, h)];
@@ -524,7 +530,8 @@ pub fn read_packet(
                 if lblock + npass_bits > 32 {
                     return Err(CodecError::malformed(
                         "code-block length field wider than 32 bits",
-                    ));
+                    )
+                    .at_offset(br.pos));
                 }
             }
             let len = br.get_bits((lblock + npass_bits) as u8)? as usize;
@@ -549,9 +556,7 @@ pub fn read_packet(
         // consumed count would point past the buffer and the caller's next
         // packet slice would be out of bounds.
         if pos > data.len() {
-            return Err(CodecError::Truncated {
-                context: "packet header stuffing byte",
-            });
+            return Err(CodecError::truncated("packet header stuffing byte").at_offset(data.len()));
         }
     }
     let mut li = 0;
@@ -562,9 +567,7 @@ pub fn read_packet(
                 li += 1;
                 let end = pos + len;
                 if end > data.len() {
-                    return Err(CodecError::Truncated {
-                        context: "packet body",
-                    });
+                    return Err(CodecError::truncated("packet body").at_offset(data.len()));
                 }
                 b.data = data[pos..end].to_vec();
                 pos = end;

@@ -45,7 +45,9 @@ pub use osss_core as osss;
 pub use osss_sim as sim;
 pub use osss_vta as vta;
 
-pub use jpeg2000::parallel::{decode_parallel, ParallelDecoder};
+pub use jpeg2000::codec::{decode_tolerant, DecodeReport, DecodeStage, TileFailure};
+pub use jpeg2000::error::{CodecError, ErrorSite};
+pub use jpeg2000::parallel::{decode_parallel, decode_tolerant_parallel, ParallelDecoder};
 pub use jpeg2000::scratch::DecodeScratch;
 
 /// Decodes a codestream with the tile-parallel backend, `n` worker
@@ -62,4 +64,19 @@ pub fn decode_workers(
     n: usize,
 ) -> Result<jpeg2000::codec::DecodedImage, jpeg2000::error::CodecError> {
     ParallelDecoder::new().workers(n).decode(bytes)
+}
+
+/// Tolerantly decodes a codestream with `n` worker pipelines (`0` =
+/// automatic): corrupt tiles become mid-gray regions reported in the
+/// [`DecodeReport`] instead of failing the decode. The sequential form
+/// is [`decode_tolerant`].
+///
+/// # Errors
+///
+/// Main-header failures only — see [`jpeg2000::codec::decode_tolerant`].
+pub fn decode_tolerant_workers(
+    bytes: &[u8],
+    n: usize,
+) -> Result<(jpeg2000::image::Image, DecodeReport), CodecError> {
+    decode_tolerant_parallel(bytes, n)
 }

@@ -78,7 +78,7 @@ fn absurd_siz_dimensions_are_rejected_before_allocation() {
     bytes[6..10].copy_from_slice(&u32::MAX.to_be_bytes());
     bytes[10..14].copy_from_slice(&u32::MAX.to_be_bytes());
     match decode(&bytes) {
-        Err(CodecError::Malformed { detail }) => {
+        Err(CodecError::Malformed { detail, .. }) => {
             assert!(
                 detail.contains("decoder limit"),
                 "unexpected detail: {detail}"
