@@ -43,6 +43,28 @@ pub struct SoStats {
     pub max_pending: usize,
 }
 
+impl SoStats {
+    /// Accumulates `other` into `self`: counters and times saturate at
+    /// their numeric bounds (a long soak simulation must peg its
+    /// counters, not wrap or panic) and `max_pending` takes the maximum.
+    /// Report paths use this to combine per-object or per-worker
+    /// snapshots into one row.
+    pub fn merge(&mut self, other: &SoStats) {
+        self.calls = self.calls.saturating_add(other.calls);
+        self.total_arbitration_wait = self
+            .total_arbitration_wait
+            .saturating_add(other.total_arbitration_wait);
+        self.total_busy = self.total_busy.saturating_add(other.total_busy);
+        self.max_pending = self.max_pending.max(other.max_pending);
+    }
+}
+
+impl std::ops::AddAssign<SoStats> for SoStats {
+    fn add_assign(&mut self, rhs: SoStats) {
+        self.merge(&rhs);
+    }
+}
+
 struct State {
     busy: Option<ProcId>,
     pending: Vec<Request>,
@@ -265,9 +287,12 @@ impl<T: Send + 'static> SharedObject<T> {
             let mut st = self.inner.state.lock();
             st.busy = None;
             if executed {
-                st.stats.calls += 1;
-                st.stats.total_arbitration_wait += t_grant - t_request;
-                st.stats.total_busy += t_done - t_grant;
+                st.stats.calls = st.stats.calls.saturating_add(1);
+                st.stats.total_arbitration_wait = st
+                    .stats
+                    .total_arbitration_wait
+                    .saturating_add(t_grant - t_request);
+                st.stats.total_busy = st.stats.total_busy.saturating_add(t_done - t_grant);
             }
         }
         ctx.notify(&self.inner.released);
@@ -501,6 +526,31 @@ mod tests {
         // The first request was granted (and dequeued) before the second
         // arrived, so at most one request was ever pending at once.
         assert_eq!(stats.max_pending, 1);
+    }
+
+    #[test]
+    fn stats_merge_saturates_at_the_u64_boundary() {
+        let mut a = SoStats {
+            calls: u64::MAX - 1,
+            total_arbitration_wait: SimTime::MAX,
+            total_busy: SimTime::ZERO,
+            max_pending: 3,
+        };
+        let b = SoStats {
+            calls: 7,
+            total_arbitration_wait: SimTime::us(1),
+            total_busy: SimTime::MAX,
+            max_pending: 2,
+        };
+        a += b;
+        assert_eq!(a.calls, u64::MAX);
+        assert_eq!(a.total_arbitration_wait, SimTime::MAX);
+        assert_eq!(a.total_busy, SimTime::MAX);
+        assert_eq!(a.max_pending, 3);
+        // Merging a default is the identity.
+        let before = a;
+        a += SoStats::default();
+        assert_eq!(a, before);
     }
 
     #[test]

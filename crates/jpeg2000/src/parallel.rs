@@ -133,7 +133,8 @@ fn run_worker(
 ///
 /// # Errors
 ///
-/// Any [`CodecError`] from parsing or entropy decoding; among several
+/// Any [`CodecError`](crate::error::CodecError) from parsing or entropy
+/// decoding; among several
 /// failing tiles the lowest-indexed tile's error is returned, matching
 /// the sequential decoder.
 pub fn decode_parallel(bytes: &[u8], workers: usize) -> CodecResult<DecodedImage> {

@@ -14,13 +14,13 @@
 //! by one cell on every side. The word caches the sample's own state
 //! (significant / visited / refined) **and** the significance of all 8
 //! neighbours plus the signs of the 4 horizontal/vertical ones. When a
-//! coefficient first becomes significant, [`set_significant`] pushes that
+//! coefficient first becomes significant, `set_significant` pushes that
 //! fact into the 8 surrounding words once; every later context lookup is
 //! then a single table index into a precomputed LUT instead of 8
 //! bounds-checked neighbour loads. The LUTs are built at compile time
-//! from the T.800 context tables ([`zc_table_hv`] / [`zc_table_diag`] and
+//! from the T.800 context tables (`zc_table_hv` / `zc_table_diag` and
 //! the sign-coding contribution rules), which remain the oracle: the
-//! original per-sample implementation is retained in [`reference`] (under
+//! original per-sample implementation is retained in `t1::reference` (under
 //! `cfg(test)` or the `reference-t1` feature) and property-tested to be
 //! bit-exact against this fast path.
 

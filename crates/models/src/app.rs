@@ -60,7 +60,7 @@ impl Outputs {
         self.tiles.lock()[index] = Some(samples);
     }
 
-    fn assemble(&self, dec: &StagedDecoder) -> Option<Image> {
+    pub(crate) fn assemble(&self, dec: &StagedDecoder) -> Option<Image> {
         let tiles = self.tiles.lock();
         let mut img = dec.blank_image();
         for t in tiles.iter() {

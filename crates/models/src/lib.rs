@@ -42,9 +42,12 @@ pub mod report;
 pub mod synth;
 pub mod timing;
 mod vta;
+pub use vta::FaultRunResult;
 pub mod workload;
 
 use osss_sim::{SimError, SimTime};
+// Re-exported so fault-sweep callers need not depend on `osss-vta`.
+pub use osss_vta::{FaultConfig, RetryPolicy};
 
 /// Lossless (5/3) or lossy (9/7) operating mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -206,6 +209,74 @@ pub fn run_scaling(mode: ModeSel, n_sw_tasks: usize, p2p: bool) -> Result<Versio
         "1..=16 software tasks"
     );
     vta::run_vta(mode, vta::VtaConfig::scaling(n_sw_tasks, p2p))
+}
+
+/// Decodes the Table-1 workload with the software task's bus traffic
+/// passed through a deterministic fault process and the reliable-RMI
+/// protocol. Tiles recovered within the retry budget stay bit-exact;
+/// tiles past it render mid-gray — the run itself never fails on
+/// transport faults.
+///
+/// # Errors
+///
+/// Propagates simulation failures (never transport faults).
+pub fn run_fault_injection(
+    mode: ModeSel,
+    fault: FaultConfig,
+    policy: RetryPolicy,
+) -> Result<FaultRunResult, SimError> {
+    vta::run_fault_vta(mode, fault, policy)
+}
+
+/// Runs [`run_fault_injection`] for every `(fault, policy)` point.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn fault_sweep(
+    mode: ModeSel,
+    points: &[(FaultConfig, RetryPolicy)],
+) -> Result<Vec<FaultRunResult>, SimError> {
+    points
+        .iter()
+        .map(|&(fault, policy)| run_fault_injection(mode, fault, policy))
+        .collect()
+}
+
+/// The default fault-rate axis of the robustness experiment: from a
+/// fault-free transport through rates the retry budget absorbs, up to a
+/// loss rate that exhausts a deliberately small budget and forces
+/// per-tile degradation. All points derive from `seed` so the whole
+/// sweep replays bit-identically.
+pub fn fault_axis(seed: u64) -> Vec<(FaultConfig, RetryPolicy)> {
+    // A full tile frame is ~32.8k words ≈ 983 µs on the 100 MHz OPB, so
+    // a 2 ms deadline comfortably covers one transfer.
+    let policy = RetryPolicy::new(SimTime::ms(2)).with_max_retries(8);
+    vec![
+        (FaultConfig::none(seed), policy),
+        (
+            FaultConfig::none(seed)
+                .with_drops(1e-3)
+                .with_bit_flips(1e-7),
+            policy,
+        ),
+        (
+            FaultConfig::none(seed)
+                .with_drops(1e-2)
+                .with_bit_flips(1e-6),
+            policy,
+        ),
+        (
+            FaultConfig::none(seed).with_drops(0.1).with_bit_flips(1e-5),
+            policy,
+        ),
+        // Past the budget: every other frame lost, most large frames
+        // corrupted, only one retry — tiles must degrade, not fail.
+        (
+            FaultConfig::none(seed).with_drops(0.5).with_bit_flips(3e-5),
+            RetryPolicy::new(SimTime::ms(2)).with_max_retries(1),
+        ),
+    ]
 }
 
 /// Regenerates the full Table 1 (all versions × both modes).

@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use osss_sim::SimTime;
 
 use crate::synth::SynthesisRow;
-use crate::{ModeSel, VersionId, VersionResult};
+use crate::{FaultRunResult, ModeSel, VersionId, VersionResult};
 
 /// One verified relation between the paper's claims and the measured
 /// reproduction.
@@ -195,6 +195,55 @@ pub fn format_table1(results: &[VersionResult]) -> String {
     out
 }
 
+/// Renders the fault-sweep experiment: transport fault rates against
+/// recovery effort, goodput, latency and the delivered image quality.
+pub fn format_fault_sweep(results: &[FaultRunResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fault sweep — Table-1 workload over a faulty OPB with reliable RMI"
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} {:>9} {:>7} {:>8} {:>8} {:>5} {:>9} {:>9} {:>11} {:>11}  image",
+        "drop",
+        "flip/w",
+        "budget",
+        "retries",
+        "timeouts",
+        "crc",
+        "recovered",
+        "degraded",
+        "goodput[%]",
+        "decode[ms]"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(110));
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:>9} {:>9} {:>7} {:>8} {:>8} {:>5} {:>9} {:>9} {:>11.2} {:>11.1}  {}",
+            format!("{:.0e}", r.fault.drop_rate),
+            format!("{:.0e}", r.fault.bit_flip_per_word),
+            r.policy.max_retries,
+            r.rmi_stats.retries,
+            r.rmi_stats.timeouts,
+            r.rmi_stats.crc_failures,
+            r.tiles_recovered,
+            r.tiles_degraded,
+            r.goodput() * 100.0,
+            r.decode_time.as_ms_f64(),
+            if r.bit_exact {
+                "bit-exact"
+            } else if r.image_ok {
+                "degraded"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    out
+}
+
 /// Renders Table 2 in the paper's layout.
 pub fn format_table2(rows: &[SynthesisRow]) -> String {
     let mut out = String::new();
@@ -376,6 +425,34 @@ mod tests {
                 c.name, c.paper, c.measured
             );
         }
+    }
+
+    #[test]
+    fn fault_sweep_formatting_labels_every_outcome() {
+        use crate::{FaultConfig, RetryPolicy};
+        let base = FaultRunResult {
+            mode: ModeSel::Lossless,
+            fault: FaultConfig::none(1).with_drops(0.1),
+            policy: RetryPolicy::new(SimTime::ms(2)),
+            decode_time: SimTime::ms(3000),
+            tiles_recovered: 0,
+            tiles_degraded: 0,
+            image_ok: true,
+            bit_exact: true,
+            fault_stats: osss_vta::FaultStats::default(),
+            rmi_stats: osss_vta::RmiStats::default(),
+            transport: osss_vta::ChannelStats::default(),
+        };
+        let degraded = FaultRunResult {
+            bit_exact: false,
+            tiles_degraded: 3,
+            ..base.clone()
+        };
+        let text = format_fault_sweep(&[base, degraded]);
+        assert!(text.contains("bit-exact"));
+        assert!(text.contains("degraded"));
+        assert!(text.contains("goodput"));
+        assert!(!text.contains("MISMATCH"));
     }
 
     #[test]

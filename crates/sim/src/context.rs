@@ -159,6 +159,17 @@ impl Context {
     /// Suspends until `event` fires or `timeout` elapses; returns whether
     /// the event fired (`false` means the timeout expired first).
     ///
+    /// # Exact-deadline tie-break
+    ///
+    /// When the event is notified at exactly `now + timeout`, the event
+    /// **wins**: the kernel delivers timed event notifications before
+    /// timed process wakeups within one instant, so this returns
+    /// `Ok(true)` regardless of the order in which the notification and
+    /// the deadline were scheduled. Reliable-transport layers (the
+    /// `osss-vta` retry policy) depend on this pinned ordering — a
+    /// response landing on the deadline counts as delivered,
+    /// deterministically.
+    ///
     /// # Errors
     ///
     /// [`SimError::Terminated`] when the simulation is shutting down.

@@ -514,18 +514,35 @@ impl Simulation {
         Ok(self.report())
     }
 
+    /// Advances time to `t` and delivers every wakeup scheduled for that
+    /// instant: timed *event* notifications first, then timed *process*
+    /// wakeups, each group in scheduling order.
+    ///
+    /// The cross-group ordering is deliberate and pinned: when an event
+    /// notification and a process deadline land on the same instant —
+    /// the exact-tie case of [`crate::Context::wait_event_timeout`] —
+    /// the event fires first, the waiter wakes with an event reason, and
+    /// its now-stale deadline wakeup is dropped by the generation check.
+    /// Without this, the winner would depend on the order in which the
+    /// two entries were pushed onto the timed heap.
     fn advance_to(st: &mut SimState, t: SimTime) {
         st.now = t;
         st.deltas_this_step = 0;
+        // No process runs while draining the heap, so firing events here
+        // cannot schedule new entries at `t`.
+        let mut procs = Vec::new();
         while let Some(Reverse(head)) = st.timed.peek() {
             if head.time != t {
                 break;
             }
             let Reverse(entry) = st.timed.pop().expect("peeked entry");
             match entry.wake {
-                Wake::Proc(pid, gen) => st.wake_proc(pid, gen, None),
+                Wake::Proc(pid, gen) => procs.push((pid, gen)),
                 Wake::Event(eid) => st.fire_event(eid),
             }
+        }
+        for (pid, gen) in procs {
+            st.wake_proc(pid, gen, None);
         }
     }
 
@@ -841,6 +858,48 @@ mod tests {
             Ok(())
         });
         sim.run().expect("run");
+    }
+
+    #[test]
+    fn wait_event_timeout_event_wins_exact_tie() {
+        // Notification scheduled before the waiter blocks: the event's
+        // heap entry precedes the deadline entry.
+        let mut sim = Simulation::new();
+        let ev = sim.event("tie");
+        let ev2 = ev.clone();
+        sim.spawn_process("notifier", move |ctx| {
+            ctx.notify_after(&ev2, SimTime::ns(20));
+            Ok(())
+        });
+        sim.spawn_process("waiter", move |ctx| {
+            let fired = ctx.wait_event_timeout(&ev, SimTime::ns(20))?;
+            assert!(fired, "event at the exact deadline must win");
+            assert_eq!(ctx.now(), SimTime::ns(20));
+            Ok(())
+        });
+        sim.run().expect("run").expect_all_finished().expect("done");
+    }
+
+    #[test]
+    fn wait_event_timeout_tie_is_independent_of_scheduling_order() {
+        // Here the *deadline* entry is pushed first (the waiter spawns
+        // before the notifier), so heap order alone would wake the
+        // waiter with a timeout. The pinned events-before-processes rule
+        // must still let the event win.
+        let mut sim = Simulation::new();
+        let ev = sim.event("tie");
+        let ev2 = ev.clone();
+        sim.spawn_process("waiter", move |ctx| {
+            let fired = ctx.wait_event_timeout(&ev2, SimTime::ns(20))?;
+            assert!(fired, "tie-break must not depend on scheduling order");
+            assert_eq!(ctx.now(), SimTime::ns(20));
+            Ok(())
+        });
+        sim.spawn_process("notifier", move |ctx| {
+            ctx.notify_after(&ev, SimTime::ns(20));
+            Ok(())
+        });
+        sim.run().expect("run").expect_all_finished().expect("done");
     }
 
     #[test]

@@ -15,6 +15,48 @@ pub struct ChannelStats {
     pub arbitration_wait: SimTime,
 }
 
+impl ChannelStats {
+    /// Accumulates `other` into `self`, saturating at the numeric bounds
+    /// (a long soak simulation must peg its counters, not wrap or
+    /// panic). Report paths use this to combine the snapshots of several
+    /// channels — or of one channel across workers — into a single
+    /// transport row.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.transfers = self.transfers.saturating_add(other.transfers);
+        self.words = self.words.saturating_add(other.words);
+        self.busy = self.busy.saturating_add(other.busy);
+        self.arbitration_wait = self.arbitration_wait.saturating_add(other.arbitration_wait);
+    }
+}
+
+impl std::ops::AddAssign<ChannelStats> for ChannelStats {
+    fn add_assign(&mut self, rhs: ChannelStats) {
+        self.merge(&rhs);
+    }
+}
+
+/// What became of one transfer on an imperfect channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// Every word arrived intact.
+    Clean,
+    /// The frame arrived, but some of its words were damaged in flight —
+    /// a CRC-protected receiver will reject it.
+    Corrupt {
+        /// Number of damaged words.
+        corrupt_words: u64,
+    },
+    /// The frame was lost entirely; the receiver never sees it.
+    Dropped,
+}
+
+impl TransferOutcome {
+    /// Whether the receiver can accept the frame as-is.
+    pub fn is_clean(self) -> bool {
+        matches!(self, TransferOutcome::Clean)
+    }
+}
+
 /// A physical communication resource of the Virtual Target Architecture.
 ///
 /// The RMI layer ([`crate::RmiService`]) is written against this trait,
@@ -34,9 +76,62 @@ pub trait Channel: Send + Sync {
     /// down.
     fn transfer(&self, ctx: &Context, words: usize, priority: u32) -> SimResult<()>;
 
+    /// Like [`Channel::transfer`], but reports what became of the frame.
+    ///
+    /// Ideal channels deliver every frame intact, so the default
+    /// implementation pays the same arbitration and transfer time as
+    /// [`Channel::transfer`] and reports [`TransferOutcome::Clean`].
+    /// Lossy decorators ([`crate::FaultyChannel`]) override it; note that
+    /// time is consumed even for dropped frames — the words still
+    /// occupied the wires.
+    ///
+    /// # Errors
+    ///
+    /// [`osss_sim::SimError::Terminated`] when the simulation is shutting
+    /// down.
+    fn transfer_outcome(
+        &self,
+        ctx: &Context,
+        words: usize,
+        priority: u32,
+    ) -> SimResult<TransferOutcome> {
+        self.transfer(ctx, words, priority)?;
+        Ok(TransferOutcome::Clean)
+    }
+
     /// The channel's name (for reports).
     fn name(&self) -> String;
 
     /// Statistics snapshot.
     fn stats(&self) -> ChannelStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_saturates_at_the_u64_boundary() {
+        let mut a = ChannelStats {
+            transfers: u64::MAX - 2,
+            words: u64::MAX,
+            busy: SimTime::MAX,
+            arbitration_wait: SimTime::ZERO,
+        };
+        let b = ChannelStats {
+            transfers: 5,
+            words: 1,
+            busy: SimTime::ns(1),
+            arbitration_wait: SimTime::MAX,
+        };
+        a += b;
+        assert_eq!(a.transfers, u64::MAX);
+        assert_eq!(a.words, u64::MAX);
+        assert_eq!(a.busy, SimTime::MAX);
+        assert_eq!(a.arbitration_wait, SimTime::MAX);
+        // Merging a default is the identity.
+        let before = a;
+        a.merge(&ChannelStats::default());
+        assert_eq!(a, before);
+    }
 }

@@ -15,6 +15,10 @@
 //!   arguments, transfer, execute under the shared object's arbitration,
 //!   transfer the results back.
 //! * [`Serialise`] — cuts user data (tiles!) into bus words.
+//! * [`FaultyChannel`] / [`ReliableRmi`] — the robustness layer: a
+//!   seeded, deterministic transport fault injector and a CRC-framed,
+//!   retrying RMI protocol that survives it (timeout, bounded retries,
+//!   exponential backoff).
 //! * [`XilinxBlockRam`] / [`DdrController`] — explicit memories; inserting
 //!   them into a shared object is what inflates the VTA IDWT times in
 //!   Table 1.
@@ -45,18 +49,24 @@
 
 mod bus;
 mod channel;
+mod fault;
 mod mem;
 mod p2p;
 mod platform;
 mod processor;
+mod reliable;
 mod rmi;
 mod serialise;
 
 pub use bus::{BusConfig, OpbBus};
-pub use channel::{Channel, ChannelStats};
+pub use channel::{Channel, ChannelStats, TransferOutcome};
+pub use fault::{FaultConfig, FaultStats, FaultyChannel};
 pub use mem::{DdrController, MemStats, XilinxBlockRam};
 pub use p2p::P2pChannel;
 pub use platform::{BusDesc, MemoryDesc, P2pDesc, PlatformDesc, ProcessorDesc};
 pub use processor::{CpuStats, SoftwareProcessor};
+pub use reliable::{
+    check_frame, encode_frame, ReliableRmi, RetryPolicy, RmiError, RmiStats, RELIABLE_TRAILER_WORDS,
+};
 pub use rmi::RmiService;
-pub use serialise::{Deserialise, Serialise, WORD_BYTES};
+pub use serialise::{crc32, Deserialise, Serialise, WORD_BYTES};

@@ -91,6 +91,18 @@ impl<T: Send + 'static> RmiService<T> {
         self
     }
 
+    pub(crate) fn so(&self) -> &SharedObject<T> {
+        &self.so
+    }
+
+    pub(crate) fn channel(&self) -> &Arc<dyn Channel> {
+        &self.channel
+    }
+
+    pub(crate) fn priority(&self) -> u32 {
+        self.priority
+    }
+
     /// The underlying shared object's statistics.
     pub fn object_stats(&self) -> SoStats {
         self.so.stats()

@@ -163,6 +163,42 @@ impl<T: Serialise, const N: usize> Serialise for [T; N] {
     }
 }
 
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `data`.
+///
+/// This is the checksum the reliable-RMI frame trailer carries; the
+/// receiver recomputes it over the payload and rejects the frame on
+/// mismatch. Same algorithm as Ethernet/zip, so
+/// `crc32(b"123456789") == 0xCBF4_3926`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +259,24 @@ mod tests {
         let a: [u32; 4] = [1, 2, 3, 4];
         assert_eq!(a.serialised_bytes(), 16);
         assert_eq!(a.serialised_words(), 4);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_any_single_bit_flip() {
+        let data: Vec<u8> = (0u32..64).map(|i| (i * 37 % 251) as u8).collect();
+        let good = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc32(&bad), good, "flip at {byte}.{bit} undetected");
+            }
+        }
     }
 }

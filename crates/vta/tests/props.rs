@@ -4,8 +4,12 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 
+use osss_core::{sched::Fcfs, SharedObject};
 use osss_sim::{Frequency, SimTime, Simulation};
-use osss_vta::{BusConfig, Channel, Deserialise, OpbBus, P2pChannel, Serialise, SoftwareProcessor};
+use osss_vta::{
+    BusConfig, Channel, ChannelStats, Deserialise, FaultConfig, FaultyChannel, OpbBus, P2pChannel,
+    ReliableRmi, RetryPolicy, RmiService, Serialise, SoftwareProcessor, RELIABLE_TRAILER_WORDS,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -117,5 +121,80 @@ proptest! {
         let report = sim.run().unwrap();
         prop_assert_eq!(bus.stats().busy, expected);
         prop_assert_eq!(report.end_time, expected, "fully serialised bus");
+    }
+
+    /// Zero-fault transparency: a `FaultyChannel` with all rates 0 is
+    /// indistinguishable from the bare channel — bit-identical
+    /// `ChannelStats` and end-times for any traffic pattern and seed.
+    #[test]
+    fn zero_fault_decorator_is_transparent(
+        transfers in proptest::collection::vec(1usize..500, 1..6),
+        seed in any::<u64>(),
+    ) {
+        let run = |wrap: bool| -> (SimTime, ChannelStats) {
+            let mut sim = Simulation::new();
+            let bus = Arc::new(OpbBus::new(&mut sim, "b", BusConfig::opb_100mhz()));
+            let ch: Arc<dyn Channel> = if wrap {
+                Arc::new(FaultyChannel::new(
+                    Arc::clone(&bus) as Arc<dyn Channel>,
+                    FaultConfig::none(seed),
+                ))
+            } else {
+                Arc::clone(&bus) as Arc<dyn Channel>
+            };
+            for (i, &w) in transfers.iter().enumerate() {
+                let ch = Arc::clone(&ch);
+                sim.spawn_process(&format!("m{i}"), move |ctx| ch.transfer(ctx, w, 0));
+            }
+            let report = sim.run().unwrap();
+            (report.end_time, bus.stats())
+        };
+        let (t_bare, s_bare) = run(false);
+        let (t_faulty, s_faulty) = run(true);
+        prop_assert_eq!(t_bare, t_faulty);
+        prop_assert_eq!(s_bare, s_faulty);
+    }
+
+    /// Reliable RMI over a zero-fault channel completes every call with
+    /// zero retries and exactly one CRC trailer of overhead per frame
+    /// (two per invocation) — the pinned protocol cost.
+    #[test]
+    fn reliable_rmi_overhead_is_pinned_at_zero_fault(
+        payloads in proptest::collection::vec(0usize..200, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Simulation::new();
+        let so = SharedObject::new(&mut sim, "so", 0u64, Fcfs::new());
+        let bus = Arc::new(OpbBus::new(&mut sim, "b", BusConfig::opb_100mhz()));
+        let faulty = Arc::new(FaultyChannel::new(
+            bus as Arc<dyn Channel>,
+            FaultConfig::none(seed),
+        ));
+        let rmi = ReliableRmi::new(
+            RmiService::new(so, faulty),
+            RetryPolicy::new(SimTime::us(100)),
+        );
+        let probe = rmi.clone();
+        let n = payloads.len() as u64;
+        sim.spawn_process("client", move |ctx| {
+            for len in payloads {
+                let args: Vec<u32> = vec![7; len];
+                rmi.try_invoke(ctx, &args, &0u64, |state, _| {
+                    *state += 1;
+                    Ok(*state)
+                })
+                .expect("zero-fault transport never errors");
+            }
+            Ok(())
+        });
+        sim.run().unwrap().expect_all_finished().unwrap();
+        let stats = probe.stats();
+        prop_assert_eq!(stats.invokes, n);
+        prop_assert_eq!(stats.completed, n);
+        prop_assert_eq!(stats.retries, 0);
+        prop_assert_eq!(stats.timeouts, 0);
+        prop_assert_eq!(stats.crc_failures, 0);
+        prop_assert_eq!(stats.failed, 0);
+        prop_assert_eq!(stats.overhead_words, n * 2 * RELIABLE_TRAILER_WORDS as u64);
     }
 }

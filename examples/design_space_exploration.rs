@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example design_space_exploration`
 
-use osss_jpeg2000::models::{run_version, ModeSel, VersionId};
+use osss_jpeg2000::models::{fault_axis, fault_sweep, run_version, ModeSel, VersionId};
 
 fn main() {
     let mode = ModeSel::Lossless;
@@ -53,6 +53,28 @@ fn main() {
             r.idwt_time.as_ms_f64(),
             if r.functional_ok {
                 "output ok"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    println!();
+    println!("Robustness cost (6b structure, faulty OPB + reliable RMI):");
+    let results = fault_sweep(mode, &fault_axis(42)).expect("simulation");
+    for r in &results {
+        println!(
+            "  drop {:>5.0e} flip {:>5.0e}  {:>9.1} ms  goodput {:>6.2}%  \
+             {:>2} recovered  {:>2} degraded  [{}]",
+            r.fault.drop_rate,
+            r.fault.bit_flip_per_word,
+            r.decode_time.as_ms_f64(),
+            r.goodput() * 100.0,
+            r.tiles_recovered,
+            r.tiles_degraded,
+            if r.bit_exact {
+                "bit-exact"
+            } else if r.image_ok {
+                "mid-gray tiles"
             } else {
                 "MISMATCH"
             }

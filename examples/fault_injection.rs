@@ -1,0 +1,44 @@
+//! Transport fault injection: decoding over an unreliable OPB bus.
+//!
+//! Sweeps the Table-1 workload across rising transport fault rates. The
+//! reliable RMI protocol (CRC framing + timeout/retry/backoff) absorbs
+//! moderate rates bit-exactly; past the retry budget, tiles degrade to
+//! mid-gray individually — the decode never fails outright.
+//!
+//! Run with: `cargo run --release --example fault_injection`
+
+use osss_jpeg2000::models::report::format_fault_sweep;
+use osss_jpeg2000::models::{fault_axis, fault_sweep, ModeSel};
+
+fn main() {
+    let mode = ModeSel::Lossless;
+    let seed = 42;
+    println!("Fault-injection sweep, {mode} mode, seed {seed}");
+    println!();
+    let points = fault_axis(seed);
+    let results = fault_sweep(mode, &points).expect("simulation");
+    print!("{}", format_fault_sweep(&results));
+    println!();
+    println!("Reading the table:");
+    println!("  The CRC trailer costs 4 words per invocation — goodput stays ~100%");
+    println!("  at rate 0. Rising drop/flip rates burn frames (goodput falls) and");
+    println!("  simulated time (deadline + backoff waits), but every tile the retry");
+    println!("  budget can save is delivered bit-exactly. The last row cuts the");
+    println!("  budget to one retry at a 50% loss rate: abandoned tiles render as");
+    println!("  mid-gray blocks while the rest of the image stays intact.");
+    let heavy = results.last().expect("axis is non-empty");
+    println!();
+    println!(
+        "  Heavy-loss row detail: {} recovered, {} degraded of 16 tiles; \
+         {} retries, {} timeouts, {} CRC rejections.",
+        heavy.tiles_recovered,
+        heavy.tiles_degraded,
+        heavy.rmi_stats.retries,
+        heavy.rmi_stats.timeouts,
+        heavy.rmi_stats.crc_failures
+    );
+    assert!(
+        results.iter().all(|r| r.image_ok),
+        "every run must deliver exactly the recovered-plus-mid-gray image"
+    );
+}
