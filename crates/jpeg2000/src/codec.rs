@@ -647,6 +647,8 @@ impl StagedDecoder {
         groups.truncate(max_res.saturating_add(1));
         let cb = 1usize << self.header.cb_exp;
         let ncomp = self.header.num_components as usize;
+        scratch.tiles += 1;
+        scratch.samples_out += (w * h * ncomp) as u64;
         let mut planes = vec![vec![0i32; w * h]; ncomp];
         let data = &self.tiles[t];
         let mut pos = 0usize;

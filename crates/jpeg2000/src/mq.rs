@@ -247,6 +247,7 @@ pub struct MqDecoder<'a> {
     ct: i32,
     data: &'a [u8],
     bp: usize,
+    renorms: u64,
 }
 
 impl<'a> MqDecoder<'a> {
@@ -259,12 +260,20 @@ impl<'a> MqDecoder<'a> {
             ct: 0,
             data,
             bp: 0,
+            renorms: 0,
         };
         dec.byte_in();
         dec.c <<= 7;
         dec.ct -= 7;
         dec.a = 0x8000;
         dec
+    }
+
+    /// Renormalisations performed so far — the decoder's measure of how
+    /// often a decision left the MPS-no-renorm fast path. Counted on the
+    /// out-of-line exchange paths, so the hot loop is unaffected.
+    pub fn renorms(&self) -> u64 {
+        self.renorms
     }
 
     #[inline]
@@ -354,6 +363,7 @@ impl<'a> MqDecoder<'a> {
     }
 
     fn renorm(&mut self) {
+        self.renorms += 1;
         loop {
             if self.ct == 0 {
                 self.byte_in();

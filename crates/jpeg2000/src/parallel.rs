@@ -29,7 +29,23 @@ use std::time::Instant;
 use crate::codec::{DecodeReport, DecodeTimings, DecodedImage, StagedDecoder, TileSamples};
 use crate::error::CodecResult;
 use crate::image::Image;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{DecodeCounters, DecodeScratch};
+
+/// Observer invoked as `(worker, tile)` the moment a worker claims a
+/// tile off the shared queue — before any decode work on it happens.
+pub type TileProbe<'p> = &'p (dyn Fn(usize, usize) + Sync);
+
+/// What a parallel decode did: worker-level tile distribution plus the
+/// decoder work counters merged across all workers' scratch arenas.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Worker threads actually used (after capping by the tile count).
+    pub workers: usize,
+    /// Tiles decoded by each worker, indexed by worker id.
+    pub per_worker_tiles: Vec<u64>,
+    /// Merged [`DecodeCounters`] of every worker.
+    pub counters: DecodeCounters,
+}
 
 /// Builder-style handle for tile-parallel decoding: the `workers(n)`
 /// knob mirrors the paper's 1/2/4-pipeline model versions.
@@ -77,6 +93,13 @@ impl ParallelDecoder {
     }
 }
 
+/// What one worker hands back: its decoded tiles (with per-stage
+/// timings) and the work counters its scratch arena tallied.
+type WorkerOutput = (
+    Vec<(usize, CodecResult<TileSamples>, DecodeTimings)>,
+    DecodeCounters,
+);
+
 /// One worker's claim-decode loop: drains the shared tile queue, fully
 /// decoding each claimed tile to spatial samples. Each worker owns one
 /// [`DecodeScratch`] arena, reused across all tiles it claims — no
@@ -85,13 +108,18 @@ fn run_worker(
     dec: &StagedDecoder,
     next: &AtomicUsize,
     num_tiles: usize,
-) -> Vec<(usize, CodecResult<TileSamples>, DecodeTimings)> {
+    worker: usize,
+    probe: Option<TileProbe<'_>>,
+) -> WorkerOutput {
     let mut done = Vec::new();
     let mut scratch = DecodeScratch::new();
     loop {
         let t = next.fetch_add(1, Ordering::Relaxed);
         if t >= num_tiles {
-            return done;
+            return (done, scratch.counters());
+        }
+        if let Some(p) = probe {
+            p(worker, t);
         }
         let mut timings = DecodeTimings::default();
         let t0 = Instant::now();
@@ -138,6 +166,22 @@ fn run_worker(
 /// failing tiles the lowest-indexed tile's error is returned, matching
 /// the sequential decoder.
 pub fn decode_parallel(bytes: &[u8], workers: usize) -> CodecResult<DecodedImage> {
+    decode_parallel_observed(bytes, workers, None).map(|(img, _)| img)
+}
+
+/// [`decode_parallel`] plus observability: returns the per-worker tile
+/// distribution and merged decoder work counters, and invokes `probe`
+/// (if any) as each tile is claimed. With `probe: None` this adds only
+/// the per-tile counter tallies the scratch arenas collect anyway.
+///
+/// # Errors
+///
+/// Exactly those of [`decode_parallel`].
+pub fn decode_parallel_observed(
+    bytes: &[u8],
+    workers: usize,
+    probe: Option<TileProbe<'_>>,
+) -> CodecResult<(DecodedImage, ParallelStats)> {
     let dec = StagedDecoder::new(bytes)?;
     let num_tiles = dec.num_tiles();
     let workers = match workers {
@@ -149,22 +193,36 @@ pub fn decode_parallel(bytes: &[u8], workers: usize) -> CodecResult<DecodedImage
     .min(num_tiles.max(1));
 
     let next = AtomicUsize::new(0);
-    let mut per_tile: Vec<(usize, CodecResult<TileSamples>, DecodeTimings)> = if workers <= 1 {
-        run_worker(&dec, &next, num_tiles)
+    let per_worker: Vec<WorkerOutput> = if workers <= 1 {
+        vec![run_worker(&dec, &next, num_tiles, 0, probe)]
     } else {
         std::thread::scope(|scope| {
+            let dec = &dec;
+            let next = &next;
             let handles: Vec<_> = (0..workers)
-                .map(|_| scope.spawn(|| run_worker(&dec, &next, num_tiles)))
+                .map(|wi| scope.spawn(move || run_worker(dec, next, num_tiles, wi, probe)))
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| match h.join() {
+                .map(|h| match h.join() {
                     Ok(v) => v,
                     Err(payload) => std::panic::resume_unwind(payload),
                 })
                 .collect()
         })
     };
+
+    let mut stats = ParallelStats {
+        workers,
+        per_worker_tiles: Vec::with_capacity(workers),
+        counters: DecodeCounters::default(),
+    };
+    let mut per_tile: Vec<(usize, CodecResult<TileSamples>, DecodeTimings)> = Vec::new();
+    for (done, counters) in per_worker {
+        stats.per_worker_tiles.push(done.len() as u64);
+        stats.counters.merge(&counters);
+        per_tile.extend(done);
+    }
 
     // Assemble deterministically in tile order; the first (lowest-tile)
     // error wins, as in the sequential loop.
@@ -180,7 +238,7 @@ pub fn decode_parallel(bytes: &[u8], workers: usize) -> CodecResult<DecodedImage
         timings.mct += tile_timings.mct;
         timings.dc_shift += tile_timings.dc_shift;
     }
-    Ok(DecodedImage { image, timings })
+    Ok((DecodedImage { image, timings }, stats))
 }
 
 /// One worker's claim-decode loop for tolerant decoding: like
@@ -310,6 +368,41 @@ mod tests {
         let par = decode_parallel(&bytes, 4);
         assert!(seq.is_err());
         assert!(par.is_err());
+    }
+
+    #[test]
+    fn observed_decode_counts_workers_tiles_and_decoder_work() {
+        // 96×96 with 32×32 tiles = 9 tiles.
+        let bytes = roundtrip_bytes(96, 96, 32, Mode::Lossless, 17);
+        let claims = std::sync::Mutex::new(Vec::<(usize, usize)>::new());
+        let probe = |w: usize, t: usize| claims.lock().expect("probe lock").push((w, t));
+        let (par, stats) = decode_parallel_observed(&bytes, 3, Some(&probe)).expect("par");
+        assert_eq!(par.image, decode(&bytes).expect("seq").image);
+        assert_eq!(stats.workers, 3);
+        assert_eq!(stats.per_worker_tiles.len(), 3);
+        assert_eq!(stats.per_worker_tiles.iter().sum::<u64>(), 9);
+        assert_eq!(stats.counters.tiles, 9);
+        assert_eq!(stats.counters.samples_out, 96 * 96 * 3);
+        assert!(stats.counters.code_blocks >= 9, "≥1 block per tile");
+        assert!(stats.counters.coding_passes > 0);
+        assert!(stats.counters.mq_renorms > 0);
+        assert!(stats.counters.bytes_in > 0);
+        // Every tile claimed exactly once, by a valid worker.
+        let mut claimed = claims.into_inner().expect("claims");
+        assert!(claimed.iter().all(|&(w, _)| w < 3));
+        claimed.sort_unstable_by_key(|&(_, t)| t);
+        let tiles: Vec<usize> = claimed.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tiles, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn observed_single_worker_runs_inline() {
+        let bytes = roundtrip_bytes(64, 64, 32, Mode::Lossless, 18);
+        let (par, stats) = decode_parallel_observed(&bytes, 1, None).expect("par");
+        assert_eq!(par.image, decode(&bytes).expect("seq").image);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.per_worker_tiles, vec![4]);
+        assert_eq!(stats.counters.arena_reuses, 3, "4 tiles, one arena");
     }
 
     #[test]

@@ -617,12 +617,43 @@ pub struct T1Scratch {
     flags: Vec<u32>,
     mags: Vec<u32>,
     negative: Vec<bool>,
+    counters: T1Counters,
+}
+
+/// Running Tier-1 work counters, accumulated across every block a
+/// [`T1Scratch`] decodes. Plain integer adds on the per-block (not
+/// per-decision) path — free to keep enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct T1Counters {
+    /// Code-blocks decoded.
+    pub blocks: u64,
+    /// Coding passes executed.
+    pub coding_passes: u64,
+    /// Compressed bytes consumed.
+    pub bytes_in: u64,
+    /// MQ renormalisations (exits from the MPS fast path).
+    pub mq_renorms: u64,
+}
+
+impl T1Counters {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &T1Counters) {
+        self.blocks = self.blocks.saturating_add(other.blocks);
+        self.coding_passes = self.coding_passes.saturating_add(other.coding_passes);
+        self.bytes_in = self.bytes_in.saturating_add(other.bytes_in);
+        self.mq_renorms = self.mq_renorms.saturating_add(other.mq_renorms);
+    }
 }
 
 impl T1Scratch {
     /// An empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The work counters accumulated so far.
+    pub fn counters(&self) -> T1Counters {
+        self.counters
     }
 
     /// Decodes a code-block like [`decode_block_segments`], but into this
@@ -636,7 +667,7 @@ impl T1Scratch {
         kind: BandKind,
         mb: u8,
     ) -> (&[u32], &[bool]) {
-        decode_segments_core(
+        let renorms = decode_segments_core(
             &mut self.flags,
             &mut self.mags,
             &mut self.negative,
@@ -646,6 +677,10 @@ impl T1Scratch {
             kind,
             mb,
         );
+        self.counters.blocks += 1;
+        self.counters.coding_passes += segments.iter().map(|&(_, n)| n as u64).sum::<u64>();
+        self.counters.bytes_in += segments.iter().map(|&(d, _)| d.len() as u64).sum::<u64>();
+        self.counters.mq_renorms += renorms;
         (&self.mags, &self.negative)
     }
 }
@@ -696,6 +731,8 @@ pub fn decode_block_segments(
     (mags, negative)
 }
 
+/// Returns the number of MQ renormalisations performed, summed across
+/// every codeword segment of the block.
 #[allow(clippy::too_many_arguments)]
 fn decode_segments_core(
     flags: &mut Vec<u32>,
@@ -706,13 +743,13 @@ fn decode_segments_core(
     h: usize,
     kind: BandKind,
     mb: u8,
-) {
+) -> u64 {
     mags.clear();
     mags.resize(w * h, 0);
     negative.clear();
     negative.resize(w * h, false);
     if mb == 0 || w == 0 || h == 0 || segments.is_empty() {
-        return;
+        return 0;
     }
     flags.clear();
     flags.resize((w + 2) * (h + 2), 0);
@@ -723,8 +760,9 @@ fn decode_segments_core(
     let mut seg_iter = segments.iter();
     let (mut seg_data, mut seg_left) = match seg_iter.next() {
         Some(&(d, n)) => (d, n),
-        None => return,
+        None => return 0,
     };
+    let mut renorms = 0u64;
     let mut mq = MqDecoder::new(seg_data);
     for &(pass, p, clear) in seq.iter().take(total_passes as usize) {
         while seg_left == 0 {
@@ -732,9 +770,10 @@ fn decode_segments_core(
                 Some(&(d, n)) => {
                     seg_data = d;
                     seg_left = n;
+                    renorms += mq.renorms();
                     mq = MqDecoder::new(seg_data);
                 }
-                None => return,
+                None => return renorms + mq.renorms(),
             }
         }
         match pass {
@@ -753,6 +792,7 @@ fn decode_segments_core(
         }
         seg_left -= 1;
     }
+    renorms + mq.renorms()
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -15,6 +15,8 @@ use jpeg2000::codec::{StagedDecoder, TileCoeffs, TileSamples, TileWavelet};
 use jpeg2000::image::Image;
 use osss_core::sched::{Arbiter, Fcfs, RoundRobin, StaticPriority};
 use osss_core::{SharedObject, SwTask};
+use osss_sim::probe::MetricsRegistry;
+use osss_sim::trace::Tracer;
 use osss_sim::{SimError, SimReport, SimTime, Simulation};
 
 use crate::timing::{
@@ -24,14 +26,51 @@ use crate::workload::{workload, Workload};
 use crate::{ModeSel, VersionId, VersionResult};
 
 /// Shared measurement sink.
+///
+/// The plain variant ([`Metrics::new`]) carries only the IDWT-time
+/// accumulator the Table-1 runs always need. The observed variant
+/// ([`Metrics::observed`]) additionally carries a [`Tracer`] (VCD-able
+/// signal dump) and a [`MetricsRegistry`] (counter/gauge snapshot); the
+/// run functions emit into both only when they are present, so the
+/// un-observed runs pay nothing beyond an `Option` check.
 #[derive(Clone, Default)]
 pub(crate) struct Metrics {
     inner: Arc<Mutex<SimTime>>,
+    tiles_done: Arc<Mutex<u64>>,
+    credit: Arc<Mutex<i64>>,
+    tracer: Option<Tracer>,
+    registry: Option<MetricsRegistry>,
 }
 
 impl Metrics {
     pub(crate) fn new() -> Self {
         Self::default()
+    }
+
+    /// A sink with trace and registry attached — every helper below
+    /// starts emitting signal records and counters.
+    pub(crate) fn observed() -> Self {
+        Metrics {
+            tracer: Some(Tracer::new()),
+            registry: Some(MetricsRegistry::new()),
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    pub(crate) fn registry(&self) -> Option<&MetricsRegistry> {
+        self.registry.as_ref()
+    }
+
+    pub(crate) fn is_observed(&self) -> bool {
+        self.tracer.is_some() || self.registry.is_some()
+    }
+
+    pub(crate) fn tiles_count(&self) -> u64 {
+        *self.tiles_done.lock()
     }
 
     pub(crate) fn add_idwt(&self, d: SimTime) {
@@ -40,6 +79,42 @@ impl Metrics {
 
     pub(crate) fn idwt(&self) -> SimTime {
         *self.inner.lock()
+    }
+
+    /// Accounts one IDWT busy interval `[start, end]`: accumulates the
+    /// Table-1 IDWT time and, when observed, traces the `idwt.busy`
+    /// signal as a 1→0 pulse — `examples/observability.rs` re-derives
+    /// the IDWT column from exactly these pulses.
+    pub(crate) fn idwt_span(&self, start: SimTime, end: SimTime) {
+        self.add_idwt(end - start);
+        if let Some(tr) = &self.tracer {
+            tr.record_at(start, "idwt.busy", 1);
+            tr.record_at(end, "idwt.busy", 0);
+        }
+    }
+
+    /// Marks one tile fully decoded at `now`; traces the cumulative
+    /// `sw.tiles_done` staircase (its last step lands exactly at the
+    /// run's end time).
+    pub(crate) fn tile_done(&self, now: SimTime) {
+        let mut done = self.tiles_done.lock();
+        *done += 1;
+        if let Some(tr) = &self.tracer {
+            tr.record_at(now, "sw.tiles_done", *done);
+        }
+    }
+
+    /// Adjusts the HW/SW hand-off credit: −1 when a software task
+    /// submits work to the co-processor object, +1 when it picks a
+    /// result back up. The running value is −(tiles in flight), so the
+    /// traced `hwsw.credit` signal is *negative* whenever the pipeline
+    /// holds work — the guaranteed signed signal in every observed VCD.
+    pub(crate) fn credit(&self, now: SimTime, delta: i64) {
+        let mut c = self.credit.lock();
+        *c += delta;
+        if let Some(tr) = &self.tracer {
+            tr.record_at(now, "hwsw.credit", *c);
+        }
     }
 }
 
@@ -83,6 +158,21 @@ pub(crate) fn finish(
     let assembled = outputs
         .assemble(&w.decoder)
         .ok_or_else(|| SimError::model(format!("{version}: missing decoded tiles")))?;
+    if let Some(reg) = metrics.registry() {
+        reg.add_counter("model.tiles", metrics.tiles_count());
+        reg.set_gauge(
+            "model.decode_ps",
+            i64::try_from(report.end_time.as_ps()).unwrap_or(i64::MAX),
+        );
+        reg.set_gauge(
+            "model.idwt_ps",
+            i64::try_from(metrics.idwt().as_ps()).unwrap_or(i64::MAX),
+        );
+        reg.set_gauge(
+            "model.arb_wait_ps",
+            i64::try_from(so_arbitration_wait.as_ps()).unwrap_or(i64::MAX),
+        );
+    }
     Ok(VersionResult {
         version,
         mode,
@@ -123,10 +213,16 @@ pub(crate) struct ParamsState {
 
 /// Version 1 — software only: one task runs all five stages per tile.
 pub fn run_v1(mode: ModeSel) -> Result<VersionResult, SimError> {
+    run_v1_metrics(mode, Metrics::new())
+}
+
+pub(crate) fn run_v1_metrics(mode: ModeSel, metrics: Metrics) -> Result<VersionResult, SimError> {
     let w = workload(mode);
     let t = sw_stage_times(mode);
     let mut sim = Simulation::new();
-    let metrics = Metrics::new();
+    if metrics.is_observed() {
+        sim.enable_sched_probe();
+    }
     let outputs = Outputs::new(NUM_TILES);
     let dec = Arc::clone(&w.decoder);
     let (m2, o2) = (metrics.clone(), outputs.clone());
@@ -138,14 +234,16 @@ pub fn run_v1(mode: ModeSel) -> Result<VersionResult, SimError> {
             let wavelet = env.eet(ctx, t.iq, || dec.dequantize_tile(&coeffs))?;
             let t0 = ctx.now();
             let samples = env.eet(ctx, t.idwt, || dec.idwt_tile(wavelet))?;
-            m2.add_idwt(ctx.now() - t0);
+            m2.idwt_span(t0, ctx.now());
             let samples = env.eet(ctx, t.ict, || dec.inverse_mct_tile(samples))?;
             let samples = env.eet(ctx, t.dc, || dec.dc_unshift_tile(samples))?;
             o2.place(i, samples);
+            m2.tile_done(ctx.now());
         }
         Ok(())
     });
     let report = sim.run()?;
+    export_sched(&sim, &metrics);
     finish(
         VersionId::V1,
         mode,
@@ -155,6 +253,14 @@ pub fn run_v1(mode: ModeSel) -> Result<VersionResult, SimError> {
         &outputs,
         SimTime::ZERO,
     )
+}
+
+/// Exports the scheduler-probe snapshot into the observed registry (a
+/// no-op for plain runs — the probe is only enabled when observed).
+pub(crate) fn export_sched(sim: &Simulation, metrics: &Metrics) {
+    if let (Some(reg), Some(snap)) = (metrics.registry(), sim.sched_snapshot()) {
+        snap.export_to(reg);
+    }
 }
 
 /// The shared structure of versions 2 and 4 generalised over the
@@ -173,6 +279,14 @@ pub fn run_v1(mode: ModeSel) -> Result<VersionResult, SimError> {
 ///
 /// Panics if `n_tasks` is zero or exceeds the tile count.
 pub fn run_sw_parallel(mode: ModeSel, n_tasks: usize) -> Result<VersionResult, SimError> {
+    run_sw_parallel_metrics(mode, n_tasks, Metrics::new())
+}
+
+pub(crate) fn run_sw_parallel_metrics(
+    mode: ModeSel,
+    n_tasks: usize,
+    metrics: Metrics,
+) -> Result<VersionResult, SimError> {
     assert!(
         (1..=NUM_TILES).contains(&n_tasks),
         "n_tasks must be in 1..={NUM_TILES}"
@@ -186,7 +300,9 @@ pub fn run_sw_parallel(mode: ModeSel, n_tasks: usize) -> Result<VersionResult, S
     let t = sw_stage_times(mode);
     let (hw_iq, hw_idwt) = (hw_iq_time(mode), hw_idwt_time(mode));
     let mut sim = Simulation::new();
-    let metrics = Metrics::new();
+    if metrics.is_observed() {
+        sim.enable_sched_probe();
+    }
     let outputs = Outputs::new(NUM_TILES);
     let so = SharedObject::new(&mut sim, "hwsw_so", (), Fcfs::new());
     for k in 0..n_tasks {
@@ -204,6 +320,7 @@ pub fn run_sw_parallel(mode: ModeSel, n_tasks: usize) -> Result<VersionResult, S
                 // their arguments).
                 let dec2 = Arc::clone(&dec);
                 let m3 = m2.clone();
+                m2.credit(ctx.now(), -1);
                 let samples = so2.call(ctx, move |_, ctx| {
                     ctx.wait(so_arb_delay(n_tasks) + so_copy_time())?;
                     let wavelet = dec2.dequantize_tile(&coeffs);
@@ -211,18 +328,21 @@ pub fn run_sw_parallel(mode: ModeSel, n_tasks: usize) -> Result<VersionResult, S
                     let t0 = ctx.now();
                     let samples = dec2.idwt_tile(wavelet);
                     ctx.wait(hw_idwt)?;
-                    m3.add_idwt(ctx.now() - t0);
+                    m3.idwt_span(t0, ctx.now());
                     ctx.wait(so_copy_time())?;
                     Ok(samples)
                 })?;
+                m2.credit(ctx.now(), 1);
                 let samples = env.eet(ctx, t.ict, || dec.inverse_mct_tile(samples))?;
                 let samples = env.eet(ctx, t.dc, || dec.dc_unshift_tile(samples))?;
                 o2.place(i, samples);
+                m2.tile_done(ctx.now());
             }
             Ok(())
         });
     }
     let report = sim.run()?;
+    export_sched(&sim, &metrics);
     let wait = so.stats().total_arbitration_wait;
     finish(version, mode, &w, &report, &metrics, &outputs, wait)
 }
@@ -292,6 +412,7 @@ impl std::fmt::Display for ArbPolicy {
 pub(crate) fn run_pipeline_app(
     mode: ModeSel,
     cfg: PipelineModel,
+    metrics: Metrics,
 ) -> Result<VersionResult, SimError> {
     let w = workload(mode);
     let t = sw_stage_times(mode);
@@ -302,7 +423,9 @@ pub(crate) fn run_pipeline_app(
     let hwsw_arb = so_arb_delay(cfg.n_sw_tasks + 3);
     let params_arb = so_arb_delay(3);
     let mut sim = Simulation::new();
-    let metrics = Metrics::new();
+    if metrics.is_observed() {
+        sim.enable_sched_probe();
+    }
     let outputs = Outputs::new(NUM_TILES);
     let hwsw = SharedObject::new(&mut sim, "hwsw_so", HwSwState::new(2), cfg.policy.arbiter());
     let params = SharedObject::new(
@@ -317,6 +440,7 @@ pub(crate) fn run_pipeline_app(
     for k in 0..cfg.n_sw_tasks {
         let dec = Arc::clone(&w.decoder);
         let o2 = outputs.clone();
+        let m2 = metrics.clone();
         let hwsw = hwsw.clone();
         let n = cfg.n_sw_tasks;
         SwTask::spawn(&mut sim, &format!("sw_task{k}"), move |env, ctx| {
@@ -334,6 +458,7 @@ pub(crate) fn run_pipeline_app(
                         Ok(())
                     },
                 )?;
+                m2.credit(ctx.now(), -1);
             }
             for i in (k..NUM_TILES).step_by(n) {
                 let samples = hwsw.call_guarded(
@@ -344,9 +469,11 @@ pub(crate) fn run_pipeline_app(
                         Ok(s.results.remove(&i).expect("guard held"))
                     },
                 )?;
+                m2.credit(ctx.now(), 1);
                 let samples = env.eet(ctx, t.ict, || dec.inverse_mct_tile(samples))?;
                 let samples = env.eet(ctx, t.dc, || dec.dc_unshift_tile(samples))?;
                 o2.place(i, samples);
+                m2.tile_done(ctx.now());
             }
             Ok(())
         });
@@ -424,11 +551,12 @@ pub(crate) fn run_pipeline_app(
                     },
                 )?;
                 let samples = {
+                    let t0 = ctx.now();
                     let out = dec.idwt_tile(wavelet);
                     ctx.wait(hw_idwt)?;
                     // On the Application Layer the IDWT time is the pure
                     // hardware compute — communication is still abstract.
-                    m2.add_idwt(hw_idwt);
+                    m2.idwt_span(t0, ctx.now());
                     out
                 };
                 hwsw.call(ctx, move |s, ctx| {
@@ -446,6 +574,7 @@ pub(crate) fn run_pipeline_app(
     }
 
     let report = sim.run()?;
+    export_sched(&sim, &metrics);
     let wait = hwsw.stats().total_arbitration_wait + params.stats().total_arbitration_wait;
     finish(cfg.version, mode, &w, &report, &metrics, &outputs, wait)
 }
@@ -479,6 +608,7 @@ pub fn run_hw_sw_parallel(mode: ModeSel, n_sw_tasks: usize) -> Result<VersionRes
             },
             policy: ArbPolicy::Fcfs,
         },
+        Metrics::new(),
     )
 }
 
@@ -522,6 +652,7 @@ pub fn run_v5_with_policy(mode: ModeSel, policy: ArbPolicy) -> Result<VersionRes
             version: VersionId::V5,
             policy,
         },
+        Metrics::new(),
     )
 }
 

@@ -37,6 +37,7 @@ mod app;
 pub use app::{
     run_hw_sw_parallel, run_sw_parallel, run_v5_with_policy, sw_scaling_curve, ArbPolicy,
 };
+pub mod observe;
 pub mod profile;
 pub mod report;
 pub mod synth;
@@ -182,10 +183,10 @@ pub fn run_version(version: VersionId, mode: ModeSel) -> Result<VersionResult, S
         VersionId::V3 => app::run_v3(mode),
         VersionId::V4 => app::run_v4(mode),
         VersionId::V5 => app::run_v5(mode),
-        VersionId::V6a => vta::run_vta(mode, vta::VtaConfig::v6a()),
-        VersionId::V6b => vta::run_vta(mode, vta::VtaConfig::v6b()),
-        VersionId::V7a => vta::run_vta(mode, vta::VtaConfig::v7a()),
-        VersionId::V7b => vta::run_vta(mode, vta::VtaConfig::v7b()),
+        VersionId::V6a => vta::run_vta(mode, vta::VtaConfig::v6a(), app::Metrics::new()),
+        VersionId::V6b => vta::run_vta(mode, vta::VtaConfig::v6b(), app::Metrics::new()),
+        VersionId::V7a => vta::run_vta(mode, vta::VtaConfig::v7a(), app::Metrics::new()),
+        VersionId::V7b => vta::run_vta(mode, vta::VtaConfig::v7b(), app::Metrics::new()),
     }
 }
 
@@ -208,7 +209,11 @@ pub fn run_scaling(mode: ModeSel, n_sw_tasks: usize, p2p: bool) -> Result<Versio
         (1..=timing::NUM_TILES).contains(&n_sw_tasks),
         "1..=16 software tasks"
     );
-    vta::run_vta(mode, vta::VtaConfig::scaling(n_sw_tasks, p2p))
+    vta::run_vta(
+        mode,
+        vta::VtaConfig::scaling(n_sw_tasks, p2p),
+        app::Metrics::new(),
+    )
 }
 
 /// Decodes the Table-1 workload with the software task's bus traffic

@@ -127,9 +127,12 @@ pub fn measure_arith_eet(mode: ModeSel, samples: usize) -> ArithEet {
                 .entropy_decode_tile_with(t, &mut scratch)
                 .expect("entropy decode workload tile");
         }
-        best = best.min(t0.elapsed().as_nanos() as u64);
+        // `as_nanos()` is u128; a plain `as u64` cast would silently
+        // wrap a pathological (stalled-clock) measurement. Saturate
+        // instead — `u64::MAX` ns keeps the `min` fold correct.
+        best = best.min(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
-    rederive_arith_eet(mode, best / tiles as u64)
+    rederive_arith_eet(mode, best / tiles.max(1) as u64)
 }
 
 #[cfg(test)]
@@ -169,6 +172,19 @@ mod tests {
         assert!((half.kernel_speedup - 2.0).abs() < 1e-2);
         let ratio = half.paper.as_ps() as f64 / half.rederived.as_ps() as f64;
         assert!((ratio - half.kernel_speedup).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rederive_survives_degenerate_measurements() {
+        // A zero measurement (timer resolution floor) must not divide
+        // by zero — it clamps to 1 ns.
+        let z = rederive_arith_eet(ModeSel::Lossless, 0);
+        assert_eq!(z.measured_ns, 1);
+        assert!(z.kernel_speedup.is_finite() && z.kernel_speedup > 0.0);
+        // An absurdly slow measurement keeps everything finite too.
+        let slow = rederive_arith_eet(ModeSel::Lossy, u64::MAX);
+        assert!(slow.kernel_speedup > 0.0);
+        assert!(slow.rederived.as_ps() > 0);
     }
 
     #[test]

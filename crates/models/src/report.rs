@@ -25,7 +25,19 @@ fn get(results: &[VersionResult], v: VersionId, m: ModeSel) -> Option<&VersionRe
     results.iter().find(|r| r.version == v && r.mode == m)
 }
 
+/// `a / b` as a float, defined on degenerate runs: a zero denominator
+/// yields 1.0 when the numerator is also zero (equal times) and
+/// `f64::INFINITY` otherwise, never NaN — shape checks compare these
+/// against finite bands, so a NaN would silently pass every `!(..)`
+/// style assertion.
 fn ratio(a: SimTime, b: SimTime) -> f64 {
+    if b == SimTime::ZERO {
+        return if a == SimTime::ZERO {
+            1.0
+        } else {
+            f64::INFINITY
+        };
+    }
     a.as_ps() as f64 / b.as_ps() as f64
 }
 
@@ -257,6 +269,11 @@ pub fn format_table2(rows: &[SynthesisRow]) -> String {
         "", "53 FOSSY", "53 ref", "97 FOSSY", "97 ref"
     );
     let _ = writeln!(out, "{}", "-".repeat(80));
+    if rows.is_empty() {
+        // Degenerate input (e.g. a synthesis sweep that produced no
+        // rows): header only, instead of panicking on `rows[0]` below.
+        return out;
+    }
     let cell = |f: &dyn Fn(&SynthesisRow, bool) -> String| -> Vec<String> {
         rows.iter()
             .flat_map(|r| [f(r, true), f(r, false)])
@@ -334,17 +351,17 @@ pub fn format_table2(rows: &[SynthesisRow]) -> String {
         ),
     ];
     for (label, cells) in lines {
-        let _ = writeln!(
-            out,
-            "{:<28} {:>12} {:>12} {:>12} {:>12}",
-            label, cells[0], cells[1], cells[2], cells[3]
-        );
+        let _ = write!(out, "{label:<28}");
+        for c in &cells {
+            let _ = write!(out, " {c:>12}");
+        }
+        let _ = writeln!(out);
     }
-    let _ = writeln!(
-        out,
-        "(input LoC: IDWT53 {} / IDWT97 {})",
-        rows[0].input_loc, rows[1].input_loc
-    );
+    let loc: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{} {}", r.design, r.input_loc))
+        .collect();
+    let _ = writeln!(out, "(input LoC: {})", loc.join(" / "));
     out
 }
 
@@ -453,6 +470,62 @@ mod tests {
         assert!(text.contains("degraded"));
         assert!(text.contains("goodput"));
         assert!(!text.contains("MISMATCH"));
+    }
+
+    #[test]
+    fn ratio_survives_zero_denominators() {
+        assert_eq!(ratio(SimTime::ZERO, SimTime::ZERO), 1.0);
+        assert_eq!(ratio(SimTime::ms(5), SimTime::ZERO), f64::INFINITY);
+        assert!(!ratio(SimTime::ZERO, SimTime::ZERO).is_nan());
+        assert_eq!(ratio(SimTime::ms(4), SimTime::ms(2)), 2.0);
+    }
+
+    #[test]
+    fn shape_checks_do_not_panic_on_degenerate_zero_time_results() {
+        // A broken run reporting all-zero times must yield failing
+        // checks, not NaN comparisons or panics.
+        let results: Vec<VersionResult> = VersionId::ALL
+            .iter()
+            .flat_map(|&v| ModeSel::ALL.iter().map(move |&m| fake(v, m, 0, 0)))
+            .collect();
+        for c in check_table1_shape(&results) {
+            assert!(
+                c.measured.parse::<f64>().map_or(true, |x| !x.is_nan()),
+                "{}: NaN leaked into `{}`",
+                c.name,
+                c.measured
+            );
+        }
+    }
+
+    #[test]
+    fn table2_with_no_rows_is_header_only() {
+        let text = format_table2(&[]);
+        assert!(text.contains("Table 2"));
+        assert!(!text.contains("Slice flip-flops"));
+    }
+
+    #[test]
+    fn fault_sweep_formats_degenerate_zero_transfer_run() {
+        use crate::{FaultConfig, RetryPolicy};
+        // 0 tiles, 0 transfers: goodput must print as 100%, not NaN.
+        let empty = FaultRunResult {
+            mode: ModeSel::Lossless,
+            fault: FaultConfig::none(1),
+            policy: RetryPolicy::new(SimTime::ms(2)),
+            decode_time: SimTime::ZERO,
+            tiles_recovered: 0,
+            tiles_degraded: 0,
+            image_ok: true,
+            bit_exact: true,
+            fault_stats: osss_vta::FaultStats::default(),
+            rmi_stats: osss_vta::RmiStats::default(),
+            transport: osss_vta::ChannelStats::default(),
+        };
+        assert_eq!(empty.goodput(), 1.0);
+        let text = format_fault_sweep(&[empty]);
+        assert!(text.contains("100.00"));
+        assert!(!text.contains("NaN"));
     }
 
     #[test]

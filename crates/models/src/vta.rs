@@ -96,13 +96,19 @@ impl VtaConfig {
     }
 }
 
-pub(crate) fn run_vta(mode: ModeSel, cfg: VtaConfig) -> Result<VersionResult, SimError> {
+pub(crate) fn run_vta(
+    mode: ModeSel,
+    cfg: VtaConfig,
+    metrics: Metrics,
+) -> Result<VersionResult, SimError> {
     let w = workload(mode);
     let t = sw_stage_times(mode);
     let (hw_iq, hw_idwt) = (hw_iq_time(mode), hw_idwt_time(mode));
     let clk = platform_clock();
     let mut sim = Simulation::new();
-    let metrics = Metrics::new();
+    if metrics.is_observed() {
+        sim.enable_sched_probe();
+    }
     let outputs = Outputs::new(NUM_TILES);
 
     // Architecture resources.
@@ -126,20 +132,21 @@ pub(crate) fn run_vta(mode: ModeSel, cfg: VtaConfig) -> Result<VersionResult, Si
     };
     let filter_rmi = RmiService::new(hwsw.clone(), Arc::clone(&filter_channel));
     // Params object always sits behind point-to-point links.
-    let params_rmi = RmiService::new(
-        params.clone(),
-        Arc::new(P2pChannel::new(&mut sim, "link_idwt_params", clk)) as Arc<dyn Channel>,
-    );
+    let params_link = Arc::new(P2pChannel::new(&mut sim, "link_idwt_params", clk));
+    let params_rmi = RmiService::new(params.clone(), Arc::clone(&params_link) as Arc<dyn Channel>);
 
     // Software tasks, each mapped onto its own processor (the paper's
     // version 7 has "three more processors" competing for the bus).
+    let mut cpus = Vec::with_capacity(cfg.n_sw_tasks);
     for k in 0..cfg.n_sw_tasks {
         let cpu = SoftwareProcessor::new(&mut sim, &format!("ppc405_{k}"), clk);
         let dec = Arc::clone(&w.decoder);
         let o2 = outputs.clone();
+        let m2 = metrics.clone();
         let rmi = sw_rmi.clone();
         let n = cfg.n_sw_tasks;
         let env = cpu.env(&format!("sw_task{k}"));
+        cpus.push(cpu);
         SwTask::spawn_with_env(&mut sim, &format!("sw_task{k}"), env, move |env, ctx| {
             for i in (k..NUM_TILES).step_by(n) {
                 let coeffs = env.eet(ctx, t.arith, || {
@@ -157,6 +164,7 @@ pub(crate) fn run_vta(mode: ModeSel, cfg: VtaConfig) -> Result<VersionResult, Si
                         Ok(())
                     },
                 )?;
+                m2.credit(ctx.now(), -1);
             }
             for i in (k..NUM_TILES).step_by(n) {
                 let samples = rmi.invoke_guarded(
@@ -166,9 +174,11 @@ pub(crate) fn run_vta(mode: ModeSel, cfg: VtaConfig) -> Result<VersionResult, Si
                     move |s| s.results.contains_key(&i),
                     move |s, _| Ok(s.results.remove(&i).expect("guard held")),
                 )?;
+                m2.credit(ctx.now(), 1);
                 let samples = env.eet(ctx, t.ict, || dec.inverse_mct_tile(samples))?;
                 let samples = env.eet(ctx, t.dc, || dec.dc_unshift_tile(samples))?;
                 o2.place(i, samples);
+                m2.tile_done(ctx.now());
             }
             Ok(())
         });
@@ -209,7 +219,7 @@ pub(crate) fn run_vta(mode: ModeSel, cfg: VtaConfig) -> Result<VersionResult, Si
                     Ok(())
                 },
             )?;
-            m2.add_idwt(ctx.now() - t0);
+            m2.idwt_span(t0, ctx.now());
         });
     }
 
@@ -259,6 +269,18 @@ pub(crate) fn run_vta(mode: ModeSel, cfg: VtaConfig) -> Result<VersionResult, Si
     }
 
     let report = sim.run()?;
+    crate::app::export_sched(&sim, &metrics);
+    if let Some(reg) = metrics.registry() {
+        bus.stats().export_to(reg, "vta.opb");
+        if cfg.filter_links_p2p {
+            filter_channel.stats().export_to(reg, "vta.link_idwt_data");
+        }
+        params_link.stats().export_to(reg, "vta.link_idwt_params");
+        bram.stats().export_to(reg, "vta.tile_bram");
+        for (k, cpu) in cpus.iter().enumerate() {
+            cpu.stats().export_to(reg, &format!("vta.ppc405_{k}"));
+        }
+    }
     let mut so_stats = hwsw.stats();
     so_stats.merge(&params.stats());
     let wait = so_stats.total_arbitration_wait;

@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 use crate::context::Context;
 use crate::error::{SimError, SimResult};
 use crate::event::{Event, EventId};
+use crate::probe::{ProcSched, SchedProbe, SchedSnapshot};
 use crate::time::SimTime;
 
 /// Identifier of a process inside one simulation.
@@ -147,6 +148,9 @@ pub(crate) struct SimState {
     pub(crate) ended: bool,
     deltas_total: u64,
     deltas_this_step: u64,
+    // Scheduler instrumentation; `None` (the default) keeps every hook
+    // site down to a single branch.
+    probe: Option<SchedProbe>,
 }
 
 impl SimState {
@@ -164,6 +168,7 @@ impl SimState {
             ended: false,
             deltas_total: 0,
             deltas_this_step: 0,
+            probe: None,
         }
     }
 
@@ -190,11 +195,16 @@ impl SimState {
 
     /// Marks a process as blocked and returns the fresh wait generation.
     pub(crate) fn begin_wait(&mut self, pid: ProcId) -> u64 {
+        let now = self.now;
         let p = &mut self.procs[pid.0];
         p.wait_gen += 1;
         p.status = ProcStatus::Waiting;
         p.wake_reason = None;
-        p.wait_gen
+        let gen = p.wait_gen;
+        if let Some(pr) = &mut self.probe {
+            pr.on_begin_wait(pid.0, now);
+        }
+        gen
     }
 
     /// Schedules a timed wakeup for a blocked process.
@@ -235,6 +245,11 @@ impl SimState {
                 .retain(|&(wp, wg)| !(wp == pid && wg == gen));
         }
         self.runnable.push_back(pid);
+        let depth = self.runnable.len();
+        if let Some(pr) = &mut self.probe {
+            pr.on_wake(pid.0, self.now);
+            pr.sample_depth(depth);
+        }
     }
 
     pub(crate) fn register_update(&mut self, hook: Arc<dyn UpdateHook>) {
@@ -444,9 +459,12 @@ impl Simulation {
                 };
                 let Some(pid) = next else { break };
                 {
-                    let st = self.shared.state.lock();
+                    let mut st = self.shared.state.lock();
                     if st.procs[pid.0].status != ProcStatus::Runnable {
                         continue;
+                    }
+                    if let Some(pr) = &mut st.probe {
+                        pr.on_activation(pid.0);
                     }
                 }
                 self.resume(pid)?;
@@ -544,6 +562,10 @@ impl Simulation {
         for (pid, gen) in procs {
             st.wake_proc(pid, gen, None);
         }
+        let depth = st.runnable.len();
+        if let Some(pr) = &mut st.probe {
+            pr.sample_depth(depth);
+        }
     }
 
     fn resume(&mut self, pid: ProcId) -> SimResult<()> {
@@ -605,6 +627,48 @@ impl Simulation {
     /// Current simulated time (between runs).
     pub fn now(&self) -> SimTime {
         self.shared.state.lock().now
+    }
+
+    /// Turns on scheduler instrumentation (per-process activations,
+    /// wakeups and wait time, runnable-queue depth). Idempotent; call
+    /// before running. Without this call the scheduler pays a single
+    /// `Option` check per hook site and collects nothing.
+    pub fn enable_sched_probe(&mut self) {
+        let mut st = self.shared.state.lock();
+        if st.probe.is_none() {
+            st.probe = Some(SchedProbe::default());
+        }
+    }
+
+    /// Snapshot of the scheduler probe, or `None` if
+    /// [`Self::enable_sched_probe`] was never called. Wait time counts
+    /// completed waits only; a process still blocked at snapshot time
+    /// contributes its past waits.
+    pub fn sched_snapshot(&self) -> Option<SchedSnapshot> {
+        let st = self.shared.state.lock();
+        let probe = st.probe.as_ref()?;
+        let procs = st
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ProcSched {
+                name: p.name.to_string(),
+                activations: probe.activations.get(i).copied().unwrap_or(0),
+                wakeups: probe.wakeups.get(i).copied().unwrap_or(0),
+                wait_time: probe.wait_time.get(i).copied().unwrap_or(SimTime::ZERO),
+            })
+            .collect();
+        let runnable_depth_avg = if probe.depth_samples == 0 {
+            0.0
+        } else {
+            probe.depth_sum as f64 / probe.depth_samples as f64
+        };
+        Some(SchedSnapshot {
+            procs,
+            runnable_depth_max: probe.depth_max,
+            runnable_depth_avg,
+            wait_hist: probe.wait_hist.clone(),
+        })
     }
 
     fn terminate_all(&mut self) {
@@ -965,5 +1029,45 @@ mod tests {
         let report = sim.run().expect("run");
         assert_eq!(report.finished, 64);
         assert_eq!(report.end_time, SimTime::ns(640));
+    }
+
+    #[test]
+    fn sched_probe_counts_activations_and_wait_time() {
+        let mut sim = Simulation::new();
+        sim.enable_sched_probe();
+        let ev = sim.event("go");
+        let ev2 = ev.clone();
+        sim.spawn_process("waiter", move |ctx| {
+            ctx.wait_event(&ev2)?; // woken at 7 ns
+            ctx.wait(SimTime::ns(3))?;
+            Ok(())
+        });
+        sim.spawn_process("notifier", move |ctx| {
+            ctx.wait(SimTime::ns(7))?;
+            ctx.notify_now(&ev);
+            Ok(())
+        });
+        sim.run().expect("run");
+        let snap = sim.sched_snapshot().expect("probe enabled");
+        assert_eq!(snap.procs.len(), 2);
+        let waiter = &snap.procs[0];
+        assert_eq!(waiter.name, "waiter");
+        // Initial slice + event wakeup + timed wakeup.
+        assert_eq!(waiter.activations, 3);
+        assert_eq!(waiter.wakeups, 2);
+        assert_eq!(waiter.wait_time, SimTime::ns(10), "7 ns event + 3 ns timed");
+        let notifier = &snap.procs[1];
+        assert_eq!(notifier.wakeups, 1);
+        assert_eq!(notifier.wait_time, SimTime::ns(7));
+        assert!(snap.runnable_depth_max >= 1);
+        assert_eq!(snap.wait_hist.count(), 3);
+    }
+
+    #[test]
+    fn sched_snapshot_is_none_without_probe() {
+        let mut sim = Simulation::new();
+        sim.spawn_process("p", |ctx| ctx.wait(SimTime::ns(1)));
+        sim.run().expect("run");
+        assert!(sim.sched_snapshot().is_none());
     }
 }

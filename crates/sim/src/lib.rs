@@ -44,8 +44,10 @@ mod error;
 mod event;
 mod kernel;
 pub mod prim;
+pub mod probe;
 mod time;
 pub mod trace;
+pub mod vcd;
 
 pub use context::Context;
 pub use error::{SimError, SimResult};

@@ -1,0 +1,426 @@
+//! A small, strict VCD (value change dump) parser.
+//!
+//! This is the in-repo validator for everything [`crate::trace::Tracer`]
+//! emits: golden tests and CI parse the dump back and fail on the exact
+//! classes of damage waveform viewers reject silently or loudly —
+//! unbalanced `$scope`/`$upscope`, changes against undeclared
+//! identifiers, string changes on vector vars, non-monotonic
+//! timestamps. It is deliberately stricter than GTKWave: a dump that
+//! passes here opens everywhere.
+//!
+//! ```
+//! use osss_sim::vcd::parse;
+//!
+//! let doc = parse("$timescale 1ps $end\n$scope module top $end\n\
+//!                  $var wire 64 ! count $end\n$upscope $end\n\
+//!                  $enddefinitions $end\n#0\nb101 !\n")
+//!     .expect("valid");
+//! assert_eq!(doc.vars.len(), 1);
+//! assert_eq!(doc.changes.len(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+/// One `$var` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdVar {
+    /// Enclosing scope path, outermost first.
+    pub scope: Vec<String>,
+    /// Declared variable type (`wire`, `reg`, `string`, ...).
+    pub var_type: String,
+    /// Declared bit width.
+    pub width: u32,
+    /// Identifier code used by value changes.
+    pub ident: String,
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// The payload of one value change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcdValue {
+    /// `b...` binary vector change.
+    Vector(String),
+    /// Single-bit scalar change (`0`, `1`, `x`, `z`).
+    Scalar(char),
+    /// `s...` string change.
+    Text(String),
+    /// `r...` real change.
+    Real(String),
+}
+
+/// One timestamped value change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdChange {
+    /// Timestamp in timescale units.
+    pub time: u64,
+    /// Identifier code of the changed variable.
+    pub ident: String,
+    /// The new value.
+    pub value: VcdValue,
+}
+
+/// A parsed dump.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VcdDoc {
+    /// Content of the `$timescale` directive.
+    pub timescale: String,
+    /// All declared variables, in declaration order.
+    pub vars: Vec<VcdVar>,
+    /// All value changes, in file order.
+    pub changes: Vec<VcdChange>,
+}
+
+impl VcdDoc {
+    /// The declaration for identifier `ident`, if any.
+    pub fn var(&self, ident: &str) -> Option<&VcdVar> {
+        self.vars.iter().find(|v| v.ident == ident)
+    }
+
+    /// The declaration whose name is `name`, if any.
+    pub fn var_named(&self, name: &str) -> Option<&VcdVar> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// All changes for the variable named `name`, in time order.
+    pub fn changes_of(&self, name: &str) -> Vec<&VcdChange> {
+        match self.var_named(name) {
+            Some(v) => self.changes.iter().filter(|c| c.ident == v.ident).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// A parse or validation failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for VcdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vcd line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for VcdError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, VcdError> {
+    Err(VcdError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Var types that legally take `b...` vector and scalar changes.
+fn is_vector_type(t: &str) -> bool {
+    matches!(
+        t,
+        "wire" | "reg" | "integer" | "parameter" | "logic" | "tri" | "supply0" | "supply1"
+    )
+}
+
+/// Parses and validates `src`.
+///
+/// # Errors
+///
+/// [`VcdError`] on the first structural violation: missing
+/// `$timescale`/`$enddefinitions`, unbalanced scopes, vars outside a
+/// scope, duplicate identifiers, changes before the first timestamp or
+/// against undeclared identifiers, string changes on non-string vars,
+/// vector changes on string vars, malformed or non-increasing
+/// timestamps.
+pub fn parse(src: &str) -> Result<VcdDoc, VcdError> {
+    let mut doc = VcdDoc::default();
+    let mut idents: HashMap<String, usize> = HashMap::new();
+    let mut scope_stack: Vec<String> = Vec::new();
+    let mut in_defs = true;
+    let mut saw_timescale = false;
+    let mut now: Option<u64> = None;
+
+    for (i, raw) in src.lines().enumerate() {
+        let n = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tok: Vec<&str> = line.split_whitespace().collect();
+        if in_defs {
+            match tok[0] {
+                "$timescale" => {
+                    if tok.last() != Some(&"$end") {
+                        return err(n, "$timescale not terminated by $end");
+                    }
+                    doc.timescale = tok[1..tok.len() - 1].join(" ");
+                    saw_timescale = true;
+                }
+                "$scope" => {
+                    if tok.len() != 4 || tok[1] != "module" || tok[3] != "$end" {
+                        return err(n, format!("malformed $scope: `{line}`"));
+                    }
+                    scope_stack.push(tok[2].to_string());
+                }
+                "$upscope" => {
+                    if scope_stack.pop().is_none() {
+                        return err(n, "$upscope without matching $scope");
+                    }
+                }
+                "$var" => {
+                    if tok.len() != 6 || tok[5] != "$end" {
+                        return err(n, format!("malformed $var: `{line}`"));
+                    }
+                    if scope_stack.is_empty() {
+                        return err(n, format!("$var `{}` outside any $scope", tok[4]));
+                    }
+                    let width: u32 = match tok[2].parse() {
+                        Ok(w) => w,
+                        Err(_) => return err(n, format!("bad $var width `{}`", tok[2])),
+                    };
+                    let ident = tok[3].to_string();
+                    if idents.contains_key(&ident) {
+                        return err(n, format!("duplicate identifier `{ident}`"));
+                    }
+                    idents.insert(ident.clone(), doc.vars.len());
+                    doc.vars.push(VcdVar {
+                        scope: scope_stack.clone(),
+                        var_type: tok[1].to_string(),
+                        width,
+                        ident,
+                        name: tok[4].to_string(),
+                    });
+                }
+                "$enddefinitions" => {
+                    if !scope_stack.is_empty() {
+                        return err(
+                            n,
+                            format!("{} unclosed $scope at $enddefinitions", scope_stack.len()),
+                        );
+                    }
+                    if !saw_timescale {
+                        return err(n, "no $timescale before $enddefinitions");
+                    }
+                    in_defs = false;
+                }
+                "$comment" | "$date" | "$version" => {} // single-line only
+                other => return err(n, format!("unexpected token in definitions: `{other}`")),
+            }
+            continue;
+        }
+        // Body: timestamps and value changes.
+        if let Some(t) = line.strip_prefix('#') {
+            let t: u64 = match t.parse() {
+                Ok(t) => t,
+                Err(_) => return err(n, format!("bad timestamp `{line}`")),
+            };
+            if let Some(prev) = now {
+                if t <= prev {
+                    return err(n, format!("non-monotonic timestamp #{t} after #{prev}"));
+                }
+            }
+            now = Some(t);
+            continue;
+        }
+        if now.is_none() {
+            return err(n, format!("value change before first timestamp: `{line}`"));
+        }
+        let time = now.unwrap_or(0);
+        let (value, ident) = if let Some(rest) = line.strip_prefix('b') {
+            let (bits, ident) = split_change(rest, n, "vector")?;
+            if bits.is_empty() || !bits.chars().all(|c| "01xzXZ".contains(c)) {
+                return err(n, format!("bad vector value `b{bits}`"));
+            }
+            (VcdValue::Vector(bits.to_string()), ident)
+        } else if let Some(rest) = line.strip_prefix('s') {
+            let (text, ident) = split_change(rest, n, "string")?;
+            (VcdValue::Text(text.to_string()), ident)
+        } else if let Some(rest) = line.strip_prefix('r') {
+            let (real, ident) = split_change(rest, n, "real")?;
+            if real.parse::<f64>().is_err() {
+                return err(n, format!("bad real value `r{real}`"));
+            }
+            (VcdValue::Real(real.to_string()), ident)
+        } else if tok.len() == 1 && tok[0].len() >= 2 {
+            let mut chars = tok[0].chars();
+            let bit = chars.next().unwrap_or('?');
+            if !"01xzXZ".contains(bit) {
+                return err(n, format!("unrecognised change line `{line}`"));
+            }
+            (VcdValue::Scalar(bit), chars.as_str().to_string())
+        } else {
+            return err(n, format!("unrecognised change line `{line}`"));
+        };
+        let var = match idents.get(&ident) {
+            Some(&i) => &doc.vars[i],
+            None => return err(n, format!("change references undeclared ident `{ident}`")),
+        };
+        match &value {
+            VcdValue::Vector(bits) => {
+                if !is_vector_type(&var.var_type) {
+                    return err(
+                        n,
+                        format!(
+                            "vector change on `{}` declared as {}",
+                            var.name, var.var_type
+                        ),
+                    );
+                }
+                if bits.len() as u32 > var.width {
+                    return err(
+                        n,
+                        format!(
+                            "vector value of {} bits exceeds width {} of `{}`",
+                            bits.len(),
+                            var.width,
+                            var.name
+                        ),
+                    );
+                }
+            }
+            VcdValue::Text(_) => {
+                if var.var_type != "string" {
+                    return err(
+                        n,
+                        format!(
+                            "string change on `{}` declared as {} (gtkwave rejects this)",
+                            var.name, var.var_type
+                        ),
+                    );
+                }
+            }
+            VcdValue::Real(_) => {
+                if var.var_type != "real" {
+                    return err(
+                        n,
+                        format!("real change on `{}` declared as {}", var.name, var.var_type),
+                    );
+                }
+            }
+            VcdValue::Scalar(_) => {
+                if !is_vector_type(&var.var_type) || var.width != 1 {
+                    return err(
+                        n,
+                        format!(
+                            "scalar change on `{}` ({} {})",
+                            var.name, var.var_type, var.width
+                        ),
+                    );
+                }
+            }
+        }
+        doc.changes.push(VcdChange { time, ident, value });
+    }
+    if in_defs {
+        return err(src.lines().count().max(1), "missing $enddefinitions");
+    }
+    Ok(doc)
+}
+
+fn split_change<'a>(rest: &'a str, line: usize, kind: &str) -> Result<(&'a str, String), VcdError> {
+    // `b101 !` / `sRUNNING "` — value and identifier separated by one space.
+    match rest.rsplit_once(' ') {
+        Some((v, id)) if !id.is_empty() => Ok((v, id.to_string())),
+        _ => err(line, format!("malformed {kind} change `{rest}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "$timescale 1ps $end\n$scope module top $end\n\
+        $var wire 64 ! count $end\n$var string 1 \" state $end\n\
+        $upscope $end\n$enddefinitions $end\n";
+
+    #[test]
+    fn parses_valid_dump() {
+        let doc = parse(&format!("{HEADER}#0\nb101 !\nsIDLE \"\n#5\nb110 !\n")).expect("valid");
+        assert_eq!(doc.timescale, "1ps");
+        assert_eq!(doc.vars.len(), 2);
+        assert_eq!(doc.changes.len(), 3);
+        assert_eq!(doc.changes_of("count").len(), 2);
+        assert_eq!(
+            doc.changes_of("state")[0].value,
+            VcdValue::Text("IDLE".into())
+        );
+        assert_eq!(doc.var_named("count").expect("count").scope, vec!["top"]);
+    }
+
+    #[test]
+    fn rejects_string_change_on_wire() {
+        // The exact historical tracer bug: `s...` against `$var wire 64`.
+        let e = parse(&format!("{HEADER}#0\nsDECODE !\n")).expect_err("invalid");
+        assert!(e.message.contains("string change"), "{e}");
+    }
+
+    #[test]
+    fn rejects_vector_change_on_string_var() {
+        let e = parse(&format!("{HEADER}#0\nb101 \"\n")).expect_err("invalid");
+        assert!(e.message.contains("vector change"), "{e}");
+    }
+
+    #[test]
+    fn rejects_undeclared_ident() {
+        let e = parse(&format!("{HEADER}#0\nb1 %\n")).expect_err("invalid");
+        assert!(e.message.contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_monotonic_timestamps() {
+        let e = parse(&format!("{HEADER}#5\nb1 !\n#5\nb10 !\n")).expect_err("invalid");
+        assert!(e.message.contains("non-monotonic"), "{e}");
+        let e = parse(&format!("{HEADER}#5\nb1 !\n#4\nb10 !\n")).expect_err("invalid");
+        assert!(e.message.contains("non-monotonic"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unbalanced_scopes() {
+        let e = parse("$timescale 1ps $end\n$scope module a $end\n$enddefinitions $end\n")
+            .expect_err("invalid");
+        assert!(e.message.contains("unclosed $scope"), "{e}");
+        let e = parse("$timescale 1ps $end\n$upscope $end\n$enddefinitions $end\n")
+            .expect_err("invalid");
+        assert!(e.message.contains("without matching"), "{e}");
+    }
+
+    #[test]
+    fn rejects_var_outside_scope() {
+        let e = parse("$timescale 1ps $end\n$var wire 64 ! x $end\n$enddefinitions $end\n")
+            .expect_err("invalid");
+        assert!(e.message.contains("outside any $scope"), "{e}");
+    }
+
+    #[test]
+    fn rejects_change_before_timestamp() {
+        let e = parse(&format!("{HEADER}b101 !\n")).expect_err("invalid");
+        assert!(e.message.contains("before first timestamp"), "{e}");
+    }
+
+    #[test]
+    fn rejects_overwide_vector() {
+        let src = "$timescale 1ps $end\n$scope module t $end\n$var wire 4 ! x $end\n\
+                   $upscope $end\n$enddefinitions $end\n#0\nb10101 !\n";
+        let e = parse(src).expect_err("invalid");
+        assert!(e.message.contains("exceeds width"), "{e}");
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let e = parse(&format!("{HEADER}#0\nb101 !\nbzzz9 !\n")).expect_err("invalid");
+        assert_eq!(e.line, 9);
+    }
+
+    #[test]
+    fn nested_scopes_roundtrip() {
+        let src = "$timescale 1ps $end\n$scope module vta $end\n$scope module bus $end\n\
+                   $var wire 64 ! words $end\n$upscope $end\n$upscope $end\n\
+                   $enddefinitions $end\n#0\nb0 !\n";
+        let doc = parse(src).expect("valid");
+        assert_eq!(
+            doc.var_named("words").expect("words").scope,
+            vec!["vta", "bus"]
+        );
+    }
+}

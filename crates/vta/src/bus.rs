@@ -1,5 +1,8 @@
 //! The shared multi-master bus model (the case study's IBM OPB).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use osss_core::{sched::Fcfs, CallOptions, SharedObject};
 use osss_sim::{Context, Frequency, SimResult, SimTime, Simulation};
 
@@ -68,6 +71,7 @@ impl BusConfig {
 pub struct OpbBus {
     so: SharedObject<()>,
     config: BusConfig,
+    words: Arc<AtomicU64>,
 }
 
 impl OpbBus {
@@ -76,6 +80,7 @@ impl OpbBus {
         OpbBus {
             so: SharedObject::new(sim, name, (), Fcfs::new()),
             config,
+            words: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -95,6 +100,7 @@ impl OpbBus {
 impl Channel for OpbBus {
     fn transfer(&self, ctx: &Context, words: usize, priority: u32) -> SimResult<()> {
         let dur = self.transfer_time(words);
+        self.words.fetch_add(words as u64, Ordering::Relaxed);
         self.so
             .call_with(ctx, CallOptions::new().priority(priority), |_, ctx| {
                 ctx.wait(dur)
@@ -109,7 +115,7 @@ impl Channel for OpbBus {
         let s = self.so.stats();
         ChannelStats {
             transfers: s.calls,
-            words: 0, // per-word accounting folded into busy time
+            words: self.words.load(Ordering::Relaxed),
             busy: s.total_busy,
             arbitration_wait: s.total_arbitration_wait,
         }
@@ -156,6 +162,7 @@ mod tests {
             assert_eq!(report.end_time, per_transfer * masters as u64);
             let stats = bus.stats();
             assert_eq!(stats.transfers, masters as u64);
+            assert_eq!(stats.words, 50 * masters as u64);
             assert_eq!(stats.busy, per_transfer * masters as u64);
         }
     }

@@ -27,6 +27,18 @@ impl ChannelStats {
         self.busy = self.busy.saturating_add(other.busy);
         self.arbitration_wait = self.arbitration_wait.saturating_add(other.arbitration_wait);
     }
+
+    /// Exports the snapshot into `reg` as `<prefix>.transfers`,
+    /// `<prefix>.words`, `<prefix>.busy_ps` and `<prefix>.arb_wait_ps`.
+    pub fn export_to(&self, reg: &osss_sim::probe::MetricsRegistry, prefix: &str) {
+        reg.add_counter(&format!("{prefix}.transfers"), self.transfers);
+        reg.add_counter(&format!("{prefix}.words"), self.words);
+        reg.add_counter(&format!("{prefix}.busy_ps"), self.busy.as_ps());
+        reg.add_counter(
+            &format!("{prefix}.arb_wait_ps"),
+            self.arbitration_wait.as_ps(),
+        );
+    }
 }
 
 impl std::ops::AddAssign<ChannelStats> for ChannelStats {

@@ -127,6 +127,21 @@ impl FaultStats {
         self.stalls = self.stalls.saturating_add(other.stalls);
         self.stall_time = self.stall_time.saturating_add(other.stall_time);
     }
+
+    /// Exports the snapshot into `reg` under `<prefix>.` (one counter
+    /// per field; `stall_time` as `<prefix>.stall_ps`).
+    pub fn export_to(&self, reg: &osss_sim::probe::MetricsRegistry, prefix: &str) {
+        reg.add_counter(&format!("{prefix}.transfers"), self.transfers);
+        reg.add_counter(&format!("{prefix}.words"), self.words);
+        reg.add_counter(&format!("{prefix}.dropped"), self.dropped);
+        reg.add_counter(
+            &format!("{prefix}.corrupt_transfers"),
+            self.corrupt_transfers,
+        );
+        reg.add_counter(&format!("{prefix}.corrupt_words"), self.corrupt_words);
+        reg.add_counter(&format!("{prefix}.stalls"), self.stalls);
+        reg.add_counter(&format!("{prefix}.stall_ps"), self.stall_time.as_ps());
+    }
 }
 
 impl std::ops::AddAssign<FaultStats> for FaultStats {

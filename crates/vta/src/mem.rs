@@ -25,6 +25,16 @@ pub struct MemStats {
     pub access_time: SimTime,
 }
 
+impl MemStats {
+    /// Exports the snapshot into `reg` as `<prefix>.reads`,
+    /// `<prefix>.writes` and `<prefix>.access_ps`.
+    pub fn export_to(&self, reg: &osss_sim::probe::MetricsRegistry, prefix: &str) {
+        reg.add_counter(&format!("{prefix}.reads"), self.reads);
+        reg.add_counter(&format!("{prefix}.writes"), self.writes);
+        reg.add_counter(&format!("{prefix}.access_ps"), self.access_time.as_ps());
+    }
+}
+
 struct BramInner<T> {
     name: String,
     freq: Frequency,

@@ -1,5 +1,8 @@
 //! Dedicated point-to-point channels.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use osss_core::{sched::Fcfs, SharedObject};
 use osss_sim::{Context, Frequency, SimResult, SimTime, Simulation};
 
@@ -15,6 +18,7 @@ pub struct P2pChannel {
     so: SharedObject<()>,
     freq: Frequency,
     cycles_per_word: u64,
+    words: Arc<AtomicU64>,
 }
 
 impl P2pChannel {
@@ -24,6 +28,7 @@ impl P2pChannel {
             so: SharedObject::new(sim, name, (), Fcfs::new()),
             freq,
             cycles_per_word: 1,
+            words: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -36,6 +41,7 @@ impl P2pChannel {
 impl Channel for P2pChannel {
     fn transfer(&self, ctx: &Context, words: usize, _priority: u32) -> SimResult<()> {
         let dur = self.transfer_time(words);
+        self.words.fetch_add(words as u64, Ordering::Relaxed);
         self.so.call(ctx, |_, ctx| ctx.wait(dur))
     }
 
@@ -47,7 +53,7 @@ impl Channel for P2pChannel {
         let s = self.so.stats();
         ChannelStats {
             transfers: s.calls,
-            words: 0,
+            words: self.words.load(Ordering::Relaxed),
             busy: s.total_busy,
             arbitration_wait: s.total_arbitration_wait,
         }

@@ -18,6 +18,16 @@ pub struct CpuStats {
     pub contention: SimTime,
 }
 
+impl CpuStats {
+    /// Exports the snapshot into `reg` as `<prefix>.eet_blocks`,
+    /// `<prefix>.busy_ps` and `<prefix>.contention_ps`.
+    pub fn export_to(&self, reg: &osss_sim::probe::MetricsRegistry, prefix: &str) {
+        reg.add_counter(&format!("{prefix}.eet_blocks"), self.eet_blocks);
+        reg.add_counter(&format!("{prefix}.busy_ps"), self.busy.as_ps());
+        reg.add_counter(&format!("{prefix}.contention_ps"), self.contention.as_ps());
+    }
+}
+
 struct Inner {
     name: String,
     freq: Frequency,

@@ -223,6 +223,22 @@ impl RmiStats {
         self.backoff_time = self.backoff_time.saturating_add(other.backoff_time);
         self.invoke_time = self.invoke_time.saturating_add(other.invoke_time);
     }
+
+    /// Exports the snapshot into `reg` under `<prefix>.` (one counter
+    /// per field; the two time totals as `_ps` counters).
+    pub fn export_to(&self, reg: &osss_sim::probe::MetricsRegistry, prefix: &str) {
+        reg.add_counter(&format!("{prefix}.invokes"), self.invokes);
+        reg.add_counter(&format!("{prefix}.completed"), self.completed);
+        reg.add_counter(&format!("{prefix}.recovered"), self.recovered);
+        reg.add_counter(&format!("{prefix}.failed"), self.failed);
+        reg.add_counter(&format!("{prefix}.retries"), self.retries);
+        reg.add_counter(&format!("{prefix}.timeouts"), self.timeouts);
+        reg.add_counter(&format!("{prefix}.crc_failures"), self.crc_failures);
+        reg.add_counter(&format!("{prefix}.payload_words"), self.payload_words);
+        reg.add_counter(&format!("{prefix}.overhead_words"), self.overhead_words);
+        reg.add_counter(&format!("{prefix}.backoff_ps"), self.backoff_time.as_ps());
+        reg.add_counter(&format!("{prefix}.invoke_ps"), self.invoke_time.as_ps());
+    }
 }
 
 impl std::ops::AddAssign<RmiStats> for RmiStats {

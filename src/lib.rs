@@ -47,8 +47,16 @@ pub use osss_vta as vta;
 
 pub use jpeg2000::codec::{decode_tolerant, DecodeReport, DecodeStage, TileFailure};
 pub use jpeg2000::error::{CodecError, ErrorSite};
-pub use jpeg2000::parallel::{decode_parallel, decode_tolerant_parallel, ParallelDecoder};
-pub use jpeg2000::scratch::DecodeScratch;
+pub use jpeg2000::parallel::{
+    decode_parallel, decode_parallel_observed, decode_tolerant_parallel, ParallelDecoder,
+    ParallelStats,
+};
+pub use jpeg2000::scratch::{DecodeCounters, DecodeScratch};
+pub use jpeg2000_models::observe::{
+    derive_from_trace, run_version_observed, ObservedRun, TraceDerived,
+};
+pub use osss_sim::probe::{MetricsRegistry, MetricsSnapshot};
+pub use osss_sim::trace::{TraceRecord, Tracer};
 
 /// Decodes a codestream with the tile-parallel backend, `n` worker
 /// pipelines (`0` = automatic). Bit-exact with
