@@ -1,0 +1,147 @@
+//! Sustained-throughput benchmark for the persistent decode service:
+//! N concurrent synthetic clients hammer the Table-1 streams and the
+//! three serving paths are isolated by cache configuration —
+//!
+//! * **cold** — both cache levels disabled: every request is a full
+//!   parse + decode, the per-call cost `decode()` pays today;
+//! * **header-cached** — header cache only: repeat streams skip the
+//!   marker parse and tile segmentation but still decode pixels;
+//! * **image-cached** — both levels on: repeat requests are served
+//!   from memory.
+//!
+//! Results go to `BENCH_serve.json` at the repository root. `--test`
+//! (how `cargo test --benches` invokes bench targets) or
+//! `BENCH_QUICK=1` run a reduced smoke pass and skip the JSON write.
+//! The image-cached path must sustain ≥ 10× the cold request rate on
+//! repeat streams — the tentpole's acceptance criterion — and that is
+//! asserted here, in quick mode too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use jpeg2000::service::{DecodeService, Request, RequestKind, ServiceConfig};
+use jpeg2000_models::workload::workload;
+use jpeg2000_models::ModeSel;
+
+const CLIENTS: usize = 4;
+
+/// Drives `CLIENTS` threads round-robin over the streams for
+/// `per_client` requests each; returns sustained requests/second.
+fn sustained_req_per_s(svc: &DecodeService, streams: &[&[u8]], per_client: usize) -> f64 {
+    let done = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let done = &done;
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let bytes = streams[(c + i) % streams.len()];
+                    let kind = match i % 3 {
+                        0 => RequestKind::Strict,
+                        1 => RequestKind::Tolerant,
+                        _ => RequestKind::Thumbnail { max_res: 0 },
+                    };
+                    let req = Request {
+                        kind,
+                        timeout: None,
+                    };
+                    // Block for space rather than drop: throughput, not
+                    // backpressure, is what is being measured.
+                    let ticket = svc
+                        .submit_wait(bytes, req, std::time::Duration::from_secs(60))
+                        .expect("bench submission");
+                    ticket.wait().expect("bench decode");
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let reqs = done.load(Ordering::Relaxed) as f64;
+    reqs / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--test") || std::env::var_os("BENCH_QUICK").is_some();
+    let per_client = if quick { 6 } else { 40 };
+
+    let lossless = workload(ModeSel::Lossless);
+    let lossy = workload(ModeSel::Lossy);
+    let streams: Vec<&[u8]> = vec![&lossless.codestream, &lossy.codestream];
+
+    let configs: [(&str, usize, usize); 3] = [
+        ("cold", 0, 0),
+        ("header_cached", 8 << 20, 0),
+        ("image_cached", 8 << 20, 32 << 20),
+    ];
+    let mut rates = Vec::new();
+    for (name, header_bytes, image_bytes) in configs {
+        let svc = DecodeService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 2 * CLIENTS,
+            header_cache_bytes: header_bytes,
+            image_cache_bytes: image_bytes,
+            metrics: None,
+        });
+        // Warm the caches (a no-op for the cold config) so the timed
+        // window measures the steady state of each path.
+        for bytes in &streams {
+            for kind in [
+                RequestKind::Strict,
+                RequestKind::Tolerant,
+                RequestKind::Thumbnail { max_res: 0 },
+            ] {
+                svc.decode(
+                    *bytes,
+                    Request {
+                        kind,
+                        timeout: None,
+                    },
+                )
+                .expect("warmup decode");
+            }
+        }
+        let rate = sustained_req_per_s(&svc, &streams, per_client);
+        let stats = svc.shutdown();
+        assert!(stats.reconciles(), "bench accounting must reconcile");
+        println!(
+            "{name}: {rate:.1} req/s  (header hit/miss {}/{}, image hit/miss {}/{})",
+            stats.header_hits, stats.header_misses, stats.image_hits, stats.image_misses
+        );
+        rates.push((name, rate));
+    }
+
+    let cold = rates[0].1;
+    let header = rates[1].1;
+    let image = rates[2].1;
+    println!(
+        "speedups vs cold: header-cached {:.2}x, image-cached {:.2}x",
+        header / cold,
+        image / cold
+    );
+    assert!(
+        image >= 10.0 * cold,
+        "image-cached path must sustain >= 10x the cold rate on repeat \
+         streams (got {:.1} vs {:.1} req/s)",
+        image,
+        cold
+    );
+
+    if quick {
+        println!("quick mode: skipping BENCH_serve.json");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \
+         \"workload\": \"table1_128x128_rgb_16_tiles_x2_modes\",\n  \
+         \"clients\": {CLIENTS},\n  \"requests_per_client\": {per_client},\n  \
+         \"sustained_req_per_s\": {{ \"cold\": {cold:.3}, \
+         \"header_cached\": {header:.3}, \"image_cached\": {image:.3} }},\n  \
+         \"speedup_vs_cold\": {{ \"header_cached\": {:.3}, \"image_cached\": {:.3} }}\n}}\n",
+        header / cold,
+        image / cold,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

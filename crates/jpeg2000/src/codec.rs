@@ -892,6 +892,175 @@ impl StagedDecoder {
         }
     }
 
+    /// Runs the full five-stage pipeline on one tile — exactly the
+    /// stages [`decode`] runs per tile, in the same order, so the
+    /// result is bit-exact with the sequential decoder's tile output.
+    /// This is the per-tile unit of work behind
+    /// [`crate::service::DecodeService`], which needs tile granularity
+    /// for cooperative cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed packets.
+    pub fn decode_tile_with(
+        &self,
+        t: usize,
+        scratch: &mut DecodeScratch,
+    ) -> CodecResult<TileSamples> {
+        let coeffs = self.entropy_decode_tile_with(t, scratch)?;
+        let samples = self.idwt_tile_with(self.dequantize_tile(&coeffs), scratch);
+        Ok(self.dc_unshift_tile(self.inverse_mct_tile(samples)))
+    }
+
+    /// [`Self::decode_tile_with`] keeping only the first `max_layers`
+    /// quality layers (clamped to at least 1) — the per-tile unit of
+    /// [`decode_quality`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed packets.
+    pub fn decode_tile_quality_with(
+        &self,
+        t: usize,
+        max_layers: usize,
+        scratch: &mut DecodeScratch,
+    ) -> CodecResult<TileSamples> {
+        let coeffs =
+            self.entropy_decode_tile_opts_with(t, usize::MAX, max_layers.max(1), scratch)?;
+        let samples = self.idwt_tile_with(self.dequantize_tile(&coeffs), scratch);
+        Ok(self.dc_unshift_tile(self.inverse_mct_tile(samples)))
+    }
+
+    /// Output geometry of a `max_res`-limited ("thumbnail") decode:
+    /// the scaled image dimensions [`decode_thumbnail`] reconstructs.
+    pub fn thumbnail_size(&self, max_res: usize) -> (usize, usize) {
+        let full = self.grid.tile_rect(0);
+        let applied = crate::dwt::effective_levels(full.w, full.h, self.header.levels as usize);
+        let shrink = 1usize << applied.saturating_sub(max_res);
+        (
+            self.grid.image_w.div_ceil(shrink),
+            self.grid.image_h.div_ceil(shrink),
+        )
+    }
+
+    /// Decodes one tile at reduced resolution — the per-tile unit of
+    /// [`decode_thumbnail`]. The returned [`TileSamples`] carry the
+    /// tile's rectangle *in the scaled output image* (already cropped
+    /// to its slot), so [`Self::place_tile`] against an image of
+    /// [`Self::thumbnail_size`] assembles the thumbnail.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed packets.
+    pub fn decode_tile_thumbnail_with(
+        &self,
+        t: usize,
+        max_res: usize,
+        scratch: &mut DecodeScratch,
+    ) -> CodecResult<TileSamples> {
+        let levels = self.header.levels as usize;
+        let full = self.grid.tile_rect(0);
+        let applied = crate::dwt::effective_levels(full.w, full.h, levels);
+        let shrink = 1usize << applied.saturating_sub(max_res);
+        let rect = self.grid.tile_rect(t);
+        let coeffs = self.entropy_decode_tile_opts_with(t, max_res, usize::MAX, scratch)?;
+        // Reconstruct only the retained resolutions: the tile now behaves
+        // like a smaller tile with `max_res` levels of detail.
+        let applied_t = crate::dwt::effective_levels(rect.w, rect.h, levels);
+        let keep = applied_t.min(max_res);
+        let drop_levels = applied_t - keep;
+        let (tw, th) = {
+            let (mut w, mut h) = (rect.w, rect.h);
+            for _ in 0..drop_levels {
+                w = w.div_ceil(2);
+                h = h.div_ceil(2);
+            }
+            (w, h)
+        };
+        // Extract the top-left (retained) region of each Mallat plane.
+        let dest = Rect {
+            x0: rect.x0 / shrink,
+            y0: rect.y0 / shrink,
+            w: tw,
+            h: th,
+        };
+        let sub_planes: Vec<Vec<i32>> = coeffs
+            .planes
+            .iter()
+            .map(|p| {
+                let mut out = vec![0i32; tw * th];
+                for y in 0..th {
+                    for x in 0..tw {
+                        out[y * tw + x] = p[y * rect.w + x];
+                    }
+                }
+                out
+            })
+            .collect();
+        // Run the back half of the pipeline on the reduced tile. The
+        // header's level count no longer matches, so invert manually.
+        let mode = quant_mode(&self.header);
+        let planes: Vec<Vec<i32>> = sub_planes
+            .iter()
+            .map(|q| match self.header.wavelet {
+                Wavelet::W53 => {
+                    let mut buf = q.clone();
+                    idwt53_2d_with(&mut buf, tw, th, keep, &mut scratch.dwt);
+                    buf
+                }
+                Wavelet::W97 => {
+                    let mut real = vec![0f64; q.len()];
+                    for band in crate::tile::subbands(tw, th, keep) {
+                        let step = band_step(mode, band.kind);
+                        for y in band.rect.y0..band.rect.y0 + band.rect.h {
+                            for x in band.rect.x0..band.rect.x0 + band.rect.w {
+                                real[y * tw + x] = dequantize(q[y * tw + x], step);
+                            }
+                        }
+                    }
+                    idwt97_2d_with(&mut real, tw, th, keep, &mut scratch.dwt);
+                    real.into_iter().map(|v| v.round() as i32).collect()
+                }
+            })
+            .collect();
+        let samples = TileSamples {
+            tile: t,
+            rect: dest,
+            planes,
+        };
+        let samples = self.inverse_mct_tile(samples);
+        let samples = self.dc_unshift_tile(samples);
+        // The slot this tile owns in the scaled output. When the tile's
+        // own effective level count is below the global one (tiny edge
+        // tiles), `tw × th` is larger than the slot — crop, or a blit
+        // would write past the image (decoder-reachable from a
+        // perfectly valid encode, e.g. 66×66 with 64×64 tiles).
+        let slot_w = (rect.x0 + rect.w).div_ceil(shrink) - dest.x0;
+        let slot_h = (rect.y0 + rect.h).div_ceil(shrink) - dest.y0;
+        let (cw, ch) = (tw.min(slot_w), th.min(slot_h));
+        let planes = samples
+            .planes
+            .into_iter()
+            .map(|data| {
+                let mut cropped = Vec::with_capacity(cw * ch);
+                for y in 0..ch {
+                    cropped.extend_from_slice(&data[y * tw..y * tw + cw]);
+                }
+                cropped
+            })
+            .collect();
+        Ok(TileSamples {
+            tile: t,
+            rect: Rect {
+                x0: dest.x0,
+                y0: dest.y0,
+                w: cw,
+                h: ch,
+            },
+            planes,
+        })
+    }
+
     /// Blits a fully decoded tile into `image`.
     ///
     /// # Panics
@@ -931,7 +1100,7 @@ pub enum DecodeStage {
 }
 
 /// One isolated failure from a tolerant decode.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TileFailure {
     /// The affected tile, when attributable to one.
     pub tile: Option<usize>,
@@ -943,7 +1112,15 @@ pub struct TileFailure {
 
 /// Everything [`decode_tolerant`] salvaged around: the failures it
 /// isolated instead of aborting the decode.
-#[derive(Debug, Clone, Default)]
+///
+/// The report is deterministic regardless of how the decode was run:
+/// the parallel backend collects each tile's failures separately and
+/// merges them *in tile order* under the same single global
+/// [`MAX_REPORTED_ERRORS`] cap the sequential decoder applies, so
+/// `decode_tolerant_parallel` produces a report equal to
+/// [`decode_tolerant`]'s for any worker count and scheduling (pinned
+/// by the >64-corrupt-tiles regression test in [`crate::parallel`]).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DecodeReport {
     /// Isolated failures, in discovery order (tile-parse first, then
     /// entropy failures in tile order). Capped at
@@ -984,6 +1161,10 @@ impl DecodeReport {
         self.record(DecodeStage::Entropy, error);
     }
 
+    /// Appends `other`'s failures under the single global cap. Callers
+    /// merging per-tile reports MUST do so in ascending tile order —
+    /// that is what makes the capped failure *set* independent of
+    /// worker scheduling and equal to the sequential report.
     pub(crate) fn merge(&mut self, other: DecodeReport) {
         for f in other.failures {
             if self.failures.len() < MAX_REPORTED_ERRORS {
@@ -1140,11 +1321,7 @@ pub fn decode_quality(bytes: &[u8], max_layers: usize) -> CodecResult<Image> {
     let mut image = dec.blank_image();
     let mut scratch = DecodeScratch::new();
     for t in 0..dec.num_tiles() {
-        let coeffs =
-            dec.entropy_decode_tile_opts_with(t, usize::MAX, max_layers.max(1), &mut scratch)?;
-        let samples = dec.dc_unshift_tile(
-            dec.inverse_mct_tile(dec.idwt_tile_with(dec.dequantize_tile(&coeffs), &mut scratch)),
-        );
+        let samples = dec.decode_tile_quality_with(t, max_layers, &mut scratch)?;
         dec.place_tile(&mut image, &samples);
     }
     Ok(image)
@@ -1172,14 +1349,7 @@ pub fn decode_quality(bytes: &[u8], max_layers: usize) -> CodecResult<Image> {
 /// Any [`CodecError`] from parsing or entropy decoding.
 pub fn decode_thumbnail(bytes: &[u8], max_res: usize) -> CodecResult<Image> {
     let dec = StagedDecoder::new(bytes)?;
-    let levels = dec.header.levels as usize;
-    let grid = dec.grid;
-    // Output geometry: scale each tile by its own effective shrink.
-    let full = grid.tile_rect(0);
-    let applied = crate::dwt::effective_levels(full.w, full.h, levels);
-    let shrink = 1usize << applied.saturating_sub(max_res);
-    let out_w = (grid.image_w).div_ceil(shrink);
-    let out_h = (grid.image_h).div_ceil(shrink);
+    let (out_w, out_h) = dec.thumbnail_size(max_res);
     let mut image = Image::new(
         out_w,
         out_h,
@@ -1188,94 +1358,8 @@ pub fn decode_thumbnail(bytes: &[u8], max_res: usize) -> CodecResult<Image> {
     );
     let mut scratch = DecodeScratch::new();
     for t in 0..dec.num_tiles() {
-        let rect = grid.tile_rect(t);
-        let coeffs = dec.entropy_decode_tile_opts_with(t, max_res, usize::MAX, &mut scratch)?;
-        // Reconstruct only the retained resolutions: the tile now behaves
-        // like a smaller tile with `max_res` levels of detail.
-        let applied_t = crate::dwt::effective_levels(rect.w, rect.h, levels);
-        let keep = applied_t.min(max_res);
-        let drop_levels = applied_t - keep;
-        let (tw, th) = {
-            let (mut w, mut h) = (rect.w, rect.h);
-            for _ in 0..drop_levels {
-                w = w.div_ceil(2);
-                h = h.div_ceil(2);
-            }
-            (w, h)
-        };
-        // Extract the top-left (retained) region of each Mallat plane.
-        let sub = TileCoeffs {
-            tile: t,
-            rect: Rect {
-                x0: rect.x0 / shrink,
-                y0: rect.y0 / shrink,
-                w: tw,
-                h: th,
-            },
-            planes: coeffs
-                .planes
-                .iter()
-                .map(|p| {
-                    let mut out = vec![0i32; tw * th];
-                    for y in 0..th {
-                        for x in 0..tw {
-                            out[y * tw + x] = p[y * rect.w + x];
-                        }
-                    }
-                    out
-                })
-                .collect(),
-        };
-        // Run the back half of the pipeline on the reduced tile. The
-        // header's level count no longer matches, so invert manually.
-        let mode = quant_mode(&dec.header);
-        let planes: Vec<Vec<i32>> = sub
-            .planes
-            .iter()
-            .map(|q| match dec.header.wavelet {
-                Wavelet::W53 => {
-                    let mut buf = q.clone();
-                    idwt53_2d_with(&mut buf, tw, th, keep, &mut scratch.dwt);
-                    buf
-                }
-                Wavelet::W97 => {
-                    let mut real = vec![0f64; q.len()];
-                    for band in crate::tile::subbands(tw, th, keep) {
-                        let step = band_step(mode, band.kind);
-                        for y in band.rect.y0..band.rect.y0 + band.rect.h {
-                            for x in band.rect.x0..band.rect.x0 + band.rect.w {
-                                real[y * tw + x] = dequantize(q[y * tw + x], step);
-                            }
-                        }
-                    }
-                    idwt97_2d_with(&mut real, tw, th, keep, &mut scratch.dwt);
-                    real.into_iter().map(|v| v.round() as i32).collect()
-                }
-            })
-            .collect();
-        let samples = TileSamples {
-            tile: t,
-            rect: sub.rect,
-            planes,
-        };
-        let samples = dec.inverse_mct_tile(samples);
-        let samples = dec.dc_unshift_tile(samples);
-        // The slot this tile owns in the scaled output. When the tile's
-        // own effective level count is below the global one (tiny edge
-        // tiles), `tw × th` is larger than the slot — crop, or the blit
-        // below would write past the image (decoder-reachable from a
-        // perfectly valid encode, e.g. 66×66 with 64×64 tiles).
-        let slot_w = (rect.x0 + rect.w).div_ceil(shrink) - samples.rect.x0;
-        let slot_h = (rect.y0 + rect.h).div_ceil(shrink) - samples.rect.y0;
-        let (cw, ch) = (tw.min(slot_w), th.min(slot_h));
-        for (c, data) in samples.planes.iter().enumerate() {
-            let mut cropped = Vec::with_capacity(cw * ch);
-            for y in 0..ch {
-                cropped.extend_from_slice(&data[y * tw..y * tw + cw]);
-            }
-            let tile_plane = Plane::from_data(cw, ch, cropped);
-            image.components[c].blit(samples.rect.x0, samples.rect.y0, &tile_plane);
-        }
+        let samples = dec.decode_tile_thumbnail_with(t, max_res, &mut scratch)?;
+        dec.place_tile(&mut image, &samples);
     }
     Ok(image)
 }

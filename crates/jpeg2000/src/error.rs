@@ -71,6 +71,13 @@ pub enum CodecError {
         /// Which parameter and why.
         detail: String,
     },
+    /// An operating-system I/O failure while reading or writing image
+    /// files — the file could not be accessed at all, as opposed to a
+    /// codestream- or PNM-content error.
+    Io {
+        /// The failed operation and the OS error text.
+        detail: String,
+    },
 }
 
 impl CodecError {
@@ -94,19 +101,25 @@ impl CodecError {
         }
     }
 
+    pub(crate) fn io(detail: impl Into<String>) -> Self {
+        CodecError::Io {
+            detail: detail.into(),
+        }
+    }
+
     /// The error's location info ([`ErrorSite::default`] for
     /// [`CodecError::InvalidParams`], which has no stream position).
     pub fn site(&self) -> ErrorSite {
         match self {
             CodecError::Truncated { site, .. } | CodecError::Malformed { site, .. } => *site,
-            CodecError::InvalidParams { .. } => ErrorSite::default(),
+            CodecError::InvalidParams { .. } | CodecError::Io { .. } => ErrorSite::default(),
         }
     }
 
     fn site_mut(&mut self) -> Option<&mut ErrorSite> {
         match self {
             CodecError::Truncated { site, .. } | CodecError::Malformed { site, .. } => Some(site),
-            CodecError::InvalidParams { .. } => None,
+            CodecError::InvalidParams { .. } | CodecError::Io { .. } => None,
         }
     }
 
@@ -164,6 +177,7 @@ impl fmt::Display for CodecError {
                 Ok(())
             }
             CodecError::InvalidParams { detail } => write!(f, "invalid parameters: {detail}"),
+            CodecError::Io { detail } => write!(f, "i/o failure: {detail}"),
         }
     }
 }

@@ -3,16 +3,26 @@
 //!
 //! Binary `P5` (greyscale) and `P6` (RGB) at 8 bits per sample are
 //! supported — the formats every image toolchain can read and write.
+//!
+//! Panic audit: these paths are reachable from untrusted files, so the
+//! library code below is panic-free — malformed headers, short rasters,
+//! inconsistent plane geometry, and OS-level file failures all surface
+//! as structured [`CodecError`]s ([`CodecError::Io`] for the latter).
+//! The `unwrap()`s in the `tests` module operate on values the tests
+//! themselves construct and are intentionally left as-is.
 
 use crate::error::{CodecError, CodecResult};
 use crate::image::{Image, Plane};
+use std::path::Path;
 
 /// Serialises an image as binary PGM (1 component) or PPM (3 components).
 ///
 /// # Errors
 ///
 /// [`CodecError::InvalidParams`] if the image is not 8-bit with 1 or 3
-/// components.
+/// components, or [`CodecError::Malformed`] if a component plane's
+/// geometry disagrees with the image dimensions (indexing such a plane
+/// would otherwise panic).
 pub fn write_pnm(image: &Image) -> CodecResult<Vec<u8>> {
     if image.depth != 8 {
         return Err(CodecError::invalid("PNM export requires 8-bit samples"));
@@ -26,6 +36,14 @@ pub fn write_pnm(image: &Image) -> CodecResult<Vec<u8>> {
             )))
         }
     };
+    for (ci, c) in image.components.iter().enumerate() {
+        if c.width != image.width || c.height != image.height {
+            return Err(CodecError::malformed(format!(
+                "component {ci} is {}x{} but the image is {}x{}",
+                c.width, c.height, image.width, image.height
+            )));
+        }
+    }
     let mut out = format!("{magic}\n{} {}\n255\n", image.width, image.height).into_bytes();
     for y in 0..image.height {
         for x in 0..image.width {
@@ -155,6 +173,32 @@ pub fn plane_to_pgm(plane: &Plane) -> CodecResult<Vec<u8>> {
     write_pnm(&image)
 }
 
+/// Reads and parses a PNM file from disk.
+///
+/// # Errors
+///
+/// [`CodecError::Io`] if the file cannot be read, plus any [`read_pnm`]
+/// parse failure.
+pub fn read_pnm_file(path: impl AsRef<Path>) -> CodecResult<Image> {
+    let path = path.as_ref();
+    let data = std::fs::read(path)
+        .map_err(|e| CodecError::io(format!("reading {}: {e}", path.display())))?;
+    read_pnm(&data)
+}
+
+/// Serialises an image with [`write_pnm`] and writes it to disk.
+///
+/// # Errors
+///
+/// [`CodecError::Io`] if the file cannot be written, plus any
+/// [`write_pnm`] serialisation failure.
+pub fn write_pnm_file(path: impl AsRef<Path>, image: &Image) -> CodecResult<()> {
+    let path = path.as_ref();
+    let bytes = write_pnm(image)?;
+    std::fs::write(path, bytes)
+        .map_err(|e| CodecError::io(format!("writing {}: {e}", path.display())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +248,34 @@ mod tests {
         assert!(write_pnm(&two).is_err());
         let deep = Image::new(4, 4, 12, 1);
         assert!(write_pnm(&deep).is_err());
+    }
+
+    #[test]
+    fn inconsistent_plane_geometry_is_an_error_not_a_panic() {
+        let mut img = Image::synthetic_grey(4, 4, 1);
+        img.components[0] = Plane::new(2, 2);
+        let err = write_pnm(&img).unwrap_err();
+        assert!(matches!(err, CodecError::Malformed { .. }), "{err}");
+        assert!(err.to_string().contains("component 0"));
+    }
+
+    #[test]
+    fn file_helpers_roundtrip_and_map_os_errors() {
+        let img = Image::synthetic_rgb(9, 7, 2);
+        let dir = std::env::temp_dir().join(format!("osss_pnm_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ppm");
+        write_pnm_file(&path, &img).unwrap();
+        assert_eq!(read_pnm_file(&path).unwrap(), img);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let missing = dir.join("no-such-file.pgm");
+        let err = read_pnm_file(&missing).unwrap_err();
+        assert!(matches!(err, CodecError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("no-such-file.pgm"));
+        let unwritable = dir.join("sub").join("out.ppm");
+        let err = write_pnm_file(&unwritable, &img).unwrap_err();
+        assert!(matches!(err, CodecError::Io { .. }), "{err}");
     }
 
     #[test]

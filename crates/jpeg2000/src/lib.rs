@@ -28,6 +28,9 @@
 //!   native mirror of the paper's 1/2/4-pipeline model versions.
 //! * [`scratch`] — the [`scratch::DecodeScratch`] arena of reusable
 //!   Tier-1/DWT buffers (one per decode, or one per parallel worker).
+//! * [`service`] — the persistent [`service::DecodeService`]: a
+//!   long-lived worker pool with a bounded queue, per-request deadlines
+//!   and a two-level (header/image) LRU cache for repeat streams.
 //! * [`fuzz`] — deterministic structure-aware mutation engine for
 //!   fault-injection testing of the whole decode surface (see
 //!   `tests/fuzz_decode.rs`); [`codec::decode_tolerant`] is the
@@ -60,6 +63,7 @@ pub mod mq;
 pub mod parallel;
 pub mod quant;
 pub mod scratch;
+pub mod service;
 pub mod t1;
 pub mod t2;
 pub mod tile;

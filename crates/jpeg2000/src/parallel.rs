@@ -24,6 +24,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use crate::codec::{DecodeReport, DecodeTimings, DecodedImage, StagedDecoder, TileSamples};
@@ -34,6 +35,26 @@ use crate::scratch::{DecodeCounters, DecodeScratch};
 /// Observer invoked as `(worker, tile)` the moment a worker claims a
 /// tile off the shared queue — before any decode work on it happens.
 pub type TileProbe<'p> = &'p (dyn Fn(usize, usize) + Sync);
+
+/// Resolves a requested worker count: `0` means "one pipeline per
+/// available hardware thread". The `available_parallelism` probe is a
+/// syscall, and it used to be paid on every decode request — on the
+/// service hot path that is pure overhead for a value that cannot
+/// change mid-process, so it is probed once and cached for the life of
+/// the process. Shared by [`decode_parallel`],
+/// [`decode_tolerant_parallel`] and
+/// [`crate::service::DecodeService`].
+pub fn resolve_workers(requested: usize) -> usize {
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    match requested {
+        0 => *AUTO.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }),
+        n => n,
+    }
+}
 
 /// What a parallel decode did: worker-level tile distribution plus the
 /// decoder work counters merged across all workers' scratch arenas.
@@ -184,13 +205,7 @@ pub fn decode_parallel_observed(
 ) -> CodecResult<(DecodedImage, ParallelStats)> {
     let dec = StagedDecoder::new(bytes)?;
     let num_tiles = dec.num_tiles();
-    let workers = match workers {
-        0 => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-        n => n,
-    }
-    .min(num_tiles.max(1));
+    let workers = resolve_workers(workers).min(num_tiles.max(1));
 
     let next = AtomicUsize::new(0);
     let per_worker: Vec<WorkerOutput> = if workers <= 1 {
@@ -265,10 +280,12 @@ fn run_worker_tolerant(
 
 /// Tolerant decoding with `workers` parallel tile pipelines — the
 /// parallel form of [`decode_tolerant`](crate::codec::decode_tolerant).
-/// Each worker collects its own failures; the merged [`DecodeReport`]
-/// lists them in tile order (after the tile-parse failures), identical
-/// to the sequential tolerant decoder's report up to error-cap
-/// truncation order.
+/// Each tile's failures are collected separately and merged in tile
+/// order (after the tile-parse failures) under the single global
+/// [`crate::codec::MAX_REPORTED_ERRORS`] cap, so the merged
+/// [`DecodeReport`] equals the sequential tolerant decoder's report —
+/// same failures, same order, same capped set — for any worker count
+/// and any scheduling.
 ///
 /// # Errors
 ///
@@ -279,13 +296,7 @@ pub fn decode_tolerant_parallel(
 ) -> CodecResult<(Image, DecodeReport)> {
     let (dec, mut report) = StagedDecoder::new_tolerant(bytes)?;
     let num_tiles = dec.num_tiles();
-    let workers = match workers {
-        0 => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-        n => n,
-    }
-    .min(num_tiles.max(1));
+    let workers = resolve_workers(workers).min(num_tiles.max(1));
 
     let next = AtomicUsize::new(0);
     let mut per_tile: Vec<(usize, TileSamples, DecodeReport)> = if workers <= 1 {
@@ -403,6 +414,86 @@ mod tests {
         assert_eq!(stats.workers, 1);
         assert_eq!(stats.per_worker_tiles, vec![4]);
         assert_eq!(stats.counters.arena_reuses, 3, "4 tiles, one arena");
+    }
+
+    #[test]
+    fn auto_worker_resolver_is_cached_and_nonzero() {
+        // `0` resolves through the `OnceLock`'d probe: at least one
+        // worker, and the same answer on every call (the probe runs at
+        // most once per process).
+        let first = resolve_workers(0);
+        assert!(first >= 1);
+        for _ in 0..3 {
+            assert_eq!(resolve_workers(0), first);
+        }
+        // Explicit counts pass through untouched.
+        for n in [1usize, 2, 7, 64] {
+            assert_eq!(resolve_workers(n), n);
+        }
+    }
+
+    #[test]
+    fn auto_workers_on_a_single_tile_stream() {
+        // workers == 0 with a single tile: the resolved count is capped
+        // by the tile count, decodes inline, and stays bit-exact.
+        let bytes = roundtrip_bytes(24, 24, 32, Mode::Lossless, 19);
+        let seq = decode(&bytes).expect("seq");
+        let (par, stats) = decode_parallel_observed(&bytes, 0, None).expect("par");
+        assert_eq!(par.image, seq.image);
+        assert_eq!(stats.workers, 1, "1 tile caps any resolved worker count");
+        let (_, report) = decode_tolerant_parallel(&bytes, 0).expect("tolerant");
+        assert!(report.is_clean());
+    }
+
+    /// Corrupts the body of every tile-part in `bytes` (past the
+    /// 12-byte SOT segment + 2-byte SOD marker) with 0xFF, which no
+    /// packet header can start with.
+    fn corrupt_every_tile(bytes: &[u8]) -> Vec<u8> {
+        let mut bad = bytes.to_vec();
+        for seg in crate::fuzz::scan_markers(bytes) {
+            if seg.marker == crate::codestream::MARKER_SOT {
+                for b in &mut bad[seg.offset + 14..seg.offset + seg.len] {
+                    *b = 0xFF;
+                }
+            }
+        }
+        bad
+    }
+
+    #[test]
+    fn tolerant_report_is_deterministic_past_the_error_cap() {
+        // Regression for the report-divergence concern: with more
+        // corrupt tiles than MAX_REPORTED_ERRORS, the *set* of
+        // reported failures must be the first 64 in tile order — never
+        // a function of which worker got scheduled first — and exactly
+        // equal to the sequential tolerant report.
+        use crate::codec::{decode_tolerant, MAX_REPORTED_ERRORS};
+        // 160×160 with 16×16 tiles = 100 tiles, all corrupted.
+        let img = Image::synthetic_grey(160, 160, 23);
+        let bytes =
+            encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(16, 16)).expect("encode");
+        let bad = corrupt_every_tile(&bytes);
+        let (seq_img, seq_report) = decode_tolerant(&bad).expect("seq tolerant");
+        assert_eq!(
+            seq_report.failures.len(),
+            MAX_REPORTED_ERRORS,
+            "the workload must overflow the cap for this test to bite"
+        );
+        // The capped set is a tile-ordered prefix of the failures, so
+        // tiles past the cap never appear before earlier ones.
+        let tiles: Vec<usize> = seq_report.failures.iter().filter_map(|f| f.tile).collect();
+        assert!(tiles.windows(2).all(|w| w[0] <= w[1]), "tile order");
+        assert_eq!(tiles.first(), Some(&0));
+        for workers in [1usize, 4] {
+            // Several repetitions so a scheduling-dependent merge would
+            // actually get a chance to differ.
+            for _ in 0..4 {
+                let (par_img, par_report) =
+                    decode_tolerant_parallel(&bad, workers).expect("par tolerant");
+                assert_eq!(par_img, seq_img, "workers = {workers}");
+                assert_eq!(par_report, seq_report, "workers = {workers}");
+            }
+        }
     }
 
     #[test]

@@ -1,18 +1,35 @@
 //! Property-based tests of the codec's core invariants.
 
-use jpeg2000::codec::{decode, encode, EncodeParams, Mode};
+use jpeg2000::codec::{
+    decode, decode_quality, decode_thumbnail, decode_tolerant, encode, EncodeParams, Mode,
+};
 use jpeg2000::ct::{dc_shift_forward, dc_shift_inverse, rct_forward, rct_inverse};
 use jpeg2000::dwt::{fdwt53_2d, fdwt97_2d, idwt53_2d, idwt97_2d};
 use jpeg2000::image::{Image, Plane};
 use jpeg2000::mq::{MqContext, MqDecoder, MqEncoder};
 use jpeg2000::parallel::decode_parallel;
 use jpeg2000::quant::{dequantize, quantize};
+use jpeg2000::service::{DecodeService, Request, ServiceConfig, ServiceError};
 use jpeg2000::t1::{decode_block, encode_block};
 use jpeg2000::t2::{
     read_packet, write_packet, BandBlocks, BitReader, BitWriter, BlockContribution, TagTree,
 };
 use jpeg2000::tile::BandKind;
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Long-lived services shared across property cases: index 0 runs one
+/// worker, index 1 runs two, so the bit-exactness property covers more
+/// than one pool shape with warm caches.
+fn shared_service(which: usize) -> &'static DecodeService {
+    static SVCS: [OnceLock<DecodeService>; 2] = [OnceLock::new(), OnceLock::new()];
+    SVCS[which].get_or_init(|| {
+        DecodeService::new(ServiceConfig {
+            workers: which + 1,
+            ..ServiceConfig::default()
+        })
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -297,6 +314,57 @@ proptest! {
         for workers in [1usize, 2, 4, 8] {
             let par = decode_parallel(&bytes, workers).unwrap();
             prop_assert_eq!(&par.image, &seq.image, "workers = {}", workers);
+        }
+    }
+
+    /// The persistent decode service is bit-exact against every
+    /// one-shot entry point, for both modes, with and without stream
+    /// damage, at more than one worker count. The services live across
+    /// cases (that is the point — persistent workers, warm caches), so
+    /// cache-served responses are covered by the same assertions.
+    #[test]
+    fn service_is_bit_exact_vs_one_shot_entry_points(
+        w in 8usize..48,
+        h in 8usize..48,
+        tile in 8usize..32,
+        lossy in any::<bool>(),
+        corrupt in any::<bool>(),
+        max_layers in 1usize..4,
+        max_res in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let img = Image::synthetic_rgb(w, h, seed);
+        let mode = if lossy { Mode::lossy_default() } else { Mode::Lossless };
+        let mut bytes = encode(&img, &EncodeParams::new(mode).tile_size(tile, tile)).unwrap();
+        if corrupt {
+            let n = bytes.len();
+            bytes[n / 2 + (seed as usize % (n / 2))] ^= 0x5a;
+        }
+        for svc in [shared_service(0), shared_service(1)] {
+            // Strict: same image, or the same structured error.
+            match (decode(&bytes), svc.decode(&bytes[..], Request::strict())) {
+                (Ok(reference), Ok(got)) => prop_assert_eq!(&*got.image, &reference.image),
+                (Err(e), Err(ServiceError::Decode(se))) => prop_assert_eq!(se, e),
+                (r, s) => prop_assert!(false, "strict divergence: {:?} vs {:?}", r.is_ok(), s.is_ok()),
+            }
+            // Tolerant: same image and the same report.
+            match (decode_tolerant(&bytes), svc.decode(&bytes[..], Request::tolerant())) {
+                (Ok((ri, rr)), Ok(got)) => {
+                    prop_assert_eq!(&*got.image, &ri);
+                    prop_assert_eq!(got.report.as_ref(), Some(&rr));
+                }
+                (Err(e), Err(ServiceError::Decode(se))) => prop_assert_eq!(se, e),
+                (r, s) => prop_assert!(false, "tolerant divergence: {:?} vs {:?}", r.is_ok(), s.is_ok()),
+            }
+            // Quality and thumbnail, on streams the strict path accepts.
+            if let Ok(reference) = decode_quality(&bytes, max_layers) {
+                let got = svc.decode(&bytes[..], Request::quality(max_layers)).unwrap();
+                prop_assert_eq!(&*got.image, &reference);
+            }
+            if let Ok(reference) = decode_thumbnail(&bytes, max_res) {
+                let got = svc.decode(&bytes[..], Request::thumbnail(max_res)).unwrap();
+                prop_assert_eq!(&*got.image, &reference);
+            }
         }
     }
 

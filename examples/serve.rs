@@ -1,0 +1,110 @@
+//! The persistent decode service end to end: a pool of long-lived
+//! workers serves strict, tolerant, quality and thumbnail decodes of
+//! the Table-1 streams, demonstrating the three serving paths (cold,
+//! header-cached, image-cached), explicit backpressure (`QueueFull`),
+//! per-request deadlines, and the `service.*` metrics the pool exports
+//! into the unified registry.
+//!
+//! Run with: `cargo run --release --example serve`
+
+use osss_jpeg2000::models::workload::workload;
+use osss_jpeg2000::models::ModeSel;
+use osss_jpeg2000::sim::probe::MetricsRegistry;
+use osss_jpeg2000::{DecodeService, Request, ServedFrom, ServiceConfig, ServiceError};
+use std::time::Duration;
+
+fn main() {
+    let lossless = workload(ModeSel::Lossless);
+    let lossy = workload(ModeSel::Lossy);
+    let reg = MetricsRegistry::new();
+    let service = DecodeService::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 8,
+        metrics: Some(reg.clone()),
+        ..ServiceConfig::default()
+    });
+    println!(
+        "decode service up: {} workers, queue of 8",
+        service.workers()
+    );
+
+    // --- The three serving paths -----------------------------------
+    // Cold: first sight of the stream — full parse + decode.
+    let cold = service
+        .decode(&lossless.codestream[..], Request::strict())
+        .expect("cold strict decode");
+    assert_eq!(*cold.image, *lossless.reference, "service is bit-exact");
+    assert_eq!(cold.served_from, ServedFrom::Cold);
+    println!(
+        "cold:         {:>9?} (queue wait {:?})",
+        cold.service_time, cold.queue_wait
+    );
+
+    // Header-cached: same stream, different variant — the parsed
+    // StagedDecoder is reused, only the pixel pipeline runs.
+    let warm = service
+        .decode(&lossless.codestream[..], Request::thumbnail(0))
+        .expect("thumbnail via cached header");
+    assert_eq!(warm.served_from, ServedFrom::HeaderCache);
+    println!(
+        "header-cache: {:>9?} ({}x{} thumbnail)",
+        warm.service_time, warm.image.width, warm.image.height
+    );
+
+    // Image-cached: identical request — no decoding at all.
+    let hot = service
+        .decode(&lossless.codestream[..], Request::strict())
+        .expect("repeat strict decode");
+    assert_eq!(hot.served_from, ServedFrom::ImageCache);
+    println!("image-cache:  {:>9?}", hot.service_time);
+
+    // --- Deadlines --------------------------------------------------
+    // A deadline no decode can meet: the request resolves with
+    // DeadlineExceeded instead of burning a worker. (A fresh stream —
+    // the cached ones would be served instantly from memory.)
+    let doomed = service
+        .decode(
+            &lossy.codestream[..],
+            Request::strict().with_timeout(Duration::from_nanos(1)),
+        )
+        .expect_err("a 1ns deadline must expire");
+    assert_eq!(doomed, ServiceError::DeadlineExceeded);
+    println!("deadline:     1ns budget -> {doomed}");
+
+    // --- Backpressure -----------------------------------------------
+    // Saturate the queue with tolerant decodes of the lossy stream,
+    // without waiting; once the queue is full, submits are refused
+    // explicitly rather than queued unboundedly.
+    let mut tickets = Vec::new();
+    let mut refused = 0usize;
+    for _ in 0..64 {
+        match service.submit(&lossy.codestream[..], Request::tolerant()) {
+            Ok(t) => tickets.push(t),
+            Err(ServiceError::QueueFull) => refused += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    for t in tickets {
+        let resp = t.wait().expect("queued tolerant decode");
+        assert!(resp.report.expect("tolerant report").failures.is_empty());
+    }
+    println!("backpressure: {refused}/64 burst submissions refused with QueueFull");
+
+    // --- Accounting and metrics -------------------------------------
+    let stats = service.shutdown();
+    assert!(stats.reconciles(), "outcomes partition submissions");
+    println!(
+        "\nstats: submitted={} completed={} expired={} rejected={} \
+         header hit/miss={}/{} image hit/miss={}/{} evictions={}",
+        stats.submitted,
+        stats.completed,
+        stats.expired,
+        stats.rejected,
+        stats.header_hits,
+        stats.header_misses,
+        stats.image_hits,
+        stats.image_misses,
+        stats.header_evictions + stats.image_evictions,
+    );
+    println!("\nmetrics registry snapshot:\n{}", reg.to_json());
+}

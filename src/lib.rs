@@ -52,6 +52,10 @@ pub use jpeg2000::parallel::{
     ParallelStats,
 };
 pub use jpeg2000::scratch::{DecodeCounters, DecodeScratch};
+pub use jpeg2000::service::{
+    DecodeService, Request, RequestKind, ServedFrom, ServiceConfig, ServiceError, ServiceResponse,
+    ServiceStats, Ticket,
+};
 pub use jpeg2000_models::observe::{
     derive_from_trace, run_version_observed, ObservedRun, TraceDerived,
 };

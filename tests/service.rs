@@ -1,0 +1,156 @@
+//! Fixed-seed stress smoke for the persistent decode service.
+//!
+//! A handful of client threads drive a deliberately small service
+//! (few workers, short queue, tight cache budgets) with a seeded mix
+//! of request kinds, deadlines, cancellations and backpressure. The
+//! contract under test is the service's accounting identity: **no
+//! submission is ever silently dropped** — every attempt resolves to a
+//! response, `QueueFull`, `DeadlineExceeded`, `Cancelled` or a decode
+//! error, and after a drain the stats reconcile exactly with the
+//! submissions. Completed strict responses must also stay bit-exact
+//! against the one-shot decoder.
+//!
+//! Knobs (environment, same pattern as `FUZZ_ITERS`):
+//! * `SERVICE_STRESS_ITERS` — requests per client thread (default 40).
+//! * `SERVICE_STRESS_SEED` — master RNG seed (default fixed).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use osss_jpeg2000::jpeg2000::codec::{decode, encode, EncodeParams, Mode};
+use osss_jpeg2000::jpeg2000::image::Image;
+use osss_jpeg2000::{DecodeService, Request, ServiceConfig, ServiceError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CLIENTS: usize = 4;
+const DEFAULT_ITERS: usize = 40;
+const DEFAULT_SEED: u64 = 0x5345_5256_4943_4531; // "SERVICE1"
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn stress_no_request_is_silently_dropped() {
+    let iters = env_u64("SERVICE_STRESS_ITERS", DEFAULT_ITERS as u64) as usize;
+    let master_seed = env_u64("SERVICE_STRESS_SEED", DEFAULT_SEED);
+
+    // A few distinct streams (Table-1-style geometry, small) plus their
+    // strict references for bit-exactness spot checks.
+    let streams: Vec<(Vec<u8>, Image)> = (0..3)
+        .map(|i| {
+            let img = Image::synthetic_rgb(64, 64, 9000 + i);
+            let mode = if i % 2 == 0 {
+                Mode::Lossless
+            } else {
+                Mode::lossy_default()
+            };
+            let bytes = encode(&img, &EncodeParams::new(mode).tile_size(32, 32)).unwrap();
+            let reference = decode(&bytes).unwrap().image;
+            (bytes, reference)
+        })
+        .collect();
+
+    let svc = DecodeService::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 4,
+        // Tight budgets: roughly one header and one image fit, so
+        // eviction churn is part of the stress.
+        header_cache_bytes: streams.iter().map(|(b, _)| b.len()).max().unwrap(),
+        image_cache_bytes: 64 * 64 * 3 * 4,
+        metrics: None,
+    });
+
+    let attempts = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let resolved = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let svc = &svc;
+            let streams = &streams;
+            let (attempts, rejected, resolved) = (&attempts, &rejected, &resolved);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(
+                    master_seed ^ (client as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                );
+                for _ in 0..iters {
+                    let (bytes, reference) = &streams[rng.gen_range(0..streams.len())];
+                    let mut request = match rng.gen_range(0..4) {
+                        0 => Request::strict(),
+                        1 => Request::tolerant(),
+                        2 => Request::quality(rng.gen_range(1..3)),
+                        _ => Request::thumbnail(rng.gen_range(0..3)),
+                    };
+                    if rng.gen_bool(0.2) {
+                        // Some absurdly tight, some generous.
+                        let us = if rng.gen_bool(0.5) { 50 } else { 200_000 };
+                        request = request.with_timeout(Duration::from_micros(us));
+                    }
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    let submitted = if rng.gen_bool(0.5) {
+                        svc.submit(&bytes[..], request)
+                    } else {
+                        svc.submit_wait(
+                            &bytes[..],
+                            request,
+                            Duration::from_millis(rng.gen_range(0..5)),
+                        )
+                    };
+                    let ticket = match submitted {
+                        Ok(t) => t,
+                        Err(ServiceError::QueueFull) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    };
+                    if rng.gen_bool(0.1) {
+                        ticket.cancel();
+                    }
+                    // Every accepted submission must resolve.
+                    match ticket.wait() {
+                        Ok(resp) => {
+                            if request.kind == osss_jpeg2000::RequestKind::Strict {
+                                assert_eq!(&*resp.image, reference, "strict response bit-drift");
+                            }
+                        }
+                        Err(ServiceError::DeadlineExceeded | ServiceError::Cancelled) => {}
+                        Err(e) => panic!("unexpected outcome: {e}"),
+                    }
+                    resolved.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let stats = svc.shutdown();
+    let attempts = attempts.load(Ordering::Relaxed);
+    let rejected_seen = rejected.load(Ordering::Relaxed);
+    let resolved = resolved.load(Ordering::Relaxed);
+
+    // Client-side and service-side accounting must agree exactly.
+    assert_eq!(stats.rejected, rejected_seen, "rejection accounting");
+    assert_eq!(
+        stats.submitted,
+        attempts - rejected_seen,
+        "admission accounting"
+    );
+    assert_eq!(
+        stats.submitted, resolved,
+        "every accepted submission resolved"
+    );
+    assert!(
+        stats.reconciles(),
+        "outcomes must partition submissions exactly: {stats:?}"
+    );
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.expired + stats.cancelled + stats.failed,
+    );
+    assert_eq!(stats.failed, 0, "well-formed streams never fail to decode");
+}
