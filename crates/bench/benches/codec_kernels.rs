@@ -3,7 +3,7 @@
 //! motivates the paper's hardware/software partitioning.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use jpeg2000::dwt::{fdwt53_2d, fdwt97_2d, idwt53_2d, idwt97_2d};
+use jpeg2000::dwt::{fdwt53_2d, fdwt97_2d, fixed_from_real, idwt53_2d, idwt97_2d_fixed};
 use jpeg2000::mq::{MqContext, MqDecoder, MqEncoder};
 use jpeg2000::t1::{decode_block, encode_block};
 use jpeg2000::tile::BandKind;
@@ -102,12 +102,13 @@ fn bench_dwt(c: &mut Criterion) {
             buf
         })
     });
-    group.bench_function("idwt97", |b| {
+    group.bench_function("idwt97_fixed", |b| {
         let mut fwd = tile_f.clone();
         fdwt97_2d(&mut fwd, n, n, 3);
+        let fixed: Vec<i32> = fwd.iter().map(|&v| fixed_from_real(v)).collect();
         b.iter(|| {
-            let mut buf = fwd.clone();
-            idwt97_2d(&mut buf, n, n, 3);
+            let mut buf = fixed.clone();
+            idwt97_2d_fixed(&mut buf, n, n, 3);
             buf
         })
     });

@@ -1,21 +1,26 @@
-//! The Tier-1 fast-path benchmark: flags-lattice kernel vs the retained
-//! reference implementation, per-tile entropy decode on the Table-1
-//! workload, and end-to-end decode throughput.
+//! The codec throughput benchmark: flags-lattice Tier-1 kernel vs the
+//! retained reference, the inverse-DWT kernels, per-tile entropy decode
+//! on the Table-1 workload, and end-to-end decode throughput.
 //!
 //! Unlike the criterion-based benches this one writes its results to
 //! `BENCH_decode.json` at the repository root — the machine-readable
 //! trajectory future PRs compare against. The `baseline_pre_pr` block
 //! holds the numbers measured on this machine immediately before the
-//! flags-lattice rewrite (PR 2), so the recorded speedups are
-//! like-for-like.
+//! flags-lattice rewrite (PR 2) and the `baseline_pre_dwt` block the
+//! numbers immediately before the fixed-point/cache-blocked DWT rewrite
+//! (PR 7), so the recorded speedups are like-for-like.
 //!
 //! Modes: `--test` (how `cargo test --benches` invokes bench targets) or
 //! `BENCH_QUICK=1` run a reduced smoke pass and skip the JSON write, so
 //! CI never clobbers the recorded trajectory with noisy quick numbers.
+//! Both modes *gate* on the committed trajectory: if the measured
+//! end-to-end decode regresses more than 25% against the `decode_ns`
+//! recorded in `BENCH_decode.json`, the bench fails.
 
 use std::time::Instant;
 
 use jpeg2000::codec::{decode, StagedDecoder};
+use jpeg2000::dwt::{fdwt53_2d, fdwt97_2d, fixed_from_real, idwt53_2d, idwt97_2d_fixed};
 use jpeg2000::scratch::DecodeScratch;
 use jpeg2000::t1::{decode_block, encode_block, reference};
 use jpeg2000::tile::BandKind;
@@ -24,12 +29,27 @@ use jpeg2000_models::ModeSel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Pre-PR Tier-1 kernel time (64×64 HL block, min-of-samples), ns.
+/// Pre-PR-2 Tier-1 kernel time (64×64 HL block, min-of-samples), ns.
 const BASELINE_KERNEL_NS: u64 = 1_490_728;
-/// Pre-PR per-tile entropy decode on the Table-1 workload, ns.
+/// Pre-PR-2 per-tile entropy decode on the Table-1 workload, ns.
 const BASELINE_ENTROPY_NS: [(&str, u64); 2] = [("lossless", 729_004), ("lossy", 795_882)];
-/// Pre-PR end-to-end decode of the Table-1 workload (best-of-20), ns.
+/// Pre-PR-2 end-to-end decode of the Table-1 workload (best-of-20), ns.
 const BASELINE_DECODE_NS: [(&str, u64); 2] = [("lossless", 12_371_732), ("lossy", 14_835_234)];
+/// Inverse-DWT kernel times (256×256 tile, 3 levels, min-of-samples)
+/// measured immediately before the strip-blocked rewrite, ns: the
+/// per-column integer 5/3 and the retired f64 9/7.
+const BASELINE_IDWT53_NS: u64 = 607_515;
+const BASELINE_IDWT97_F64_NS: u64 = 954_323;
+/// End-to-end decode immediately before the fixed-point DWT rewrite —
+/// the committed `decode_ns` trajectory as of PR 6, ns.
+const BASELINE_PRE_DWT_DECODE_NS: [(&str, u64); 2] =
+    [("lossless", 7_352_701), ("lossy", 10_077_050)];
+
+/// Maximum tolerated end-to-end decode slowdown vs the committed
+/// `BENCH_decode.json` before the bench fails. Generous because the CI
+/// quick pass uses few samples on a noisy shared CPU; it exists to catch
+/// real regressions (a lost kernel optimisation), not jitter.
+const GATE_MAX_RATIO: f64 = 1.25;
 
 /// Best-of-`samples` wall-clock of `f`, in ns. Min (not mean) because a
 /// 1-CPU container's scheduler noise only ever adds time.
@@ -43,10 +63,29 @@ fn best_ns(samples: usize, mut f: impl FnMut()) -> u64 {
     best
 }
 
+/// Extracts one named entry of the *top-level* `decode_ns` block from
+/// the committed `BENCH_decode.json` (the first `decode_ns` in the file;
+/// the baseline blocks repeat the key further down). Hand-rolled so the
+/// bench needs no JSON dependency.
+fn committed_decode_ns(json: &str, name: &str) -> Option<u64> {
+    let obj = &json[json.find("\"decode_ns\"")?..];
+    let obj = &obj[..obj.find('}')? + 1];
+    let v = &obj[obj.find(&format!("\"{name}\""))?..];
+    let digits: String = v
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--test") || std::env::var_os("BENCH_QUICK").is_some();
-    let (warmup, samples) = if quick { (1, 2) } else { (5, 30) };
+    // Quick mode takes enough samples that a best-of min is a stable
+    // input to the regression gate; the whole pass still runs in
+    // seconds.
+    let (warmup, samples) = if quick { (2, 5) } else { (5, 30) };
 
     // --- Kernel: 64×64 HL code-block, same data as codec_kernels.rs ---
     let (w, h) = (64usize, 64usize);
@@ -86,6 +125,38 @@ fn main() {
         BASELINE_KERNEL_NS as f64 / opt_ns as f64,
     );
 
+    // --- DWT kernels: 256×256 tile, 3 levels --------------------------
+    let n = 256usize;
+    let mut rng = StdRng::seed_from_u64(3);
+    let tile: Vec<i32> = (0..n * n).map(|_| rng.gen_range(-128..128)).collect();
+    let mut fwd53 = tile.clone();
+    fdwt53_2d(&mut fwd53, n, n, 3);
+    for _ in 0..warmup {
+        let mut buf = fwd53.clone();
+        idwt53_2d(&mut buf, n, n, 3);
+    }
+    let idwt53_ns = best_ns(samples, || {
+        let mut buf = fwd53.clone();
+        idwt53_2d(&mut buf, n, n, 3);
+    });
+    let mut fwd97: Vec<f64> = tile.iter().map(|&v| f64::from(v)).collect();
+    fdwt97_2d(&mut fwd97, n, n, 3);
+    let fwd97_fixed: Vec<i32> = fwd97.iter().map(|&v| fixed_from_real(v)).collect();
+    for _ in 0..warmup {
+        let mut buf = fwd97_fixed.clone();
+        idwt97_2d_fixed(&mut buf, n, n, 3);
+    }
+    let idwt97_ns = best_ns(samples, || {
+        let mut buf = fwd97_fixed.clone();
+        idwt97_2d_fixed(&mut buf, n, n, 3);
+    });
+    println!(
+        "dwt 256x256 l3: idwt53 {idwt53_ns} ns ({:.2}x vs pre-PR {BASELINE_IDWT53_NS} ns), \
+         idwt97_fixed {idwt97_ns} ns ({:.2}x vs pre-PR f64 {BASELINE_IDWT97_F64_NS} ns)",
+        BASELINE_IDWT53_NS as f64 / idwt53_ns as f64,
+        BASELINE_IDWT97_F64_NS as f64 / idwt97_ns as f64,
+    );
+
     // --- Per-tile entropy decode + end-to-end decode, both modes ------
     let mut entropy_ns = Vec::new();
     let mut decode_ns = Vec::new();
@@ -122,6 +193,25 @@ fn main() {
         println!("{name}: entropy {per_tile} ns/tile, decode {total} ns ({mbps:.3} MB/s)");
     }
 
+    // --- Regression gate vs the committed trajectory ------------------
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode.json");
+    match std::fs::read_to_string(path) {
+        Ok(committed) => {
+            for &(name, measured) in &decode_ns {
+                let pinned = committed_decode_ns(&committed, name)
+                    .unwrap_or_else(|| panic!("BENCH_decode.json has no decode_ns.{name}"));
+                let ratio = measured as f64 / pinned as f64;
+                println!("gate {name}: {measured} ns vs committed {pinned} ns ({ratio:.3}x)");
+                assert!(
+                    ratio <= GATE_MAX_RATIO,
+                    "{name} decode regressed to {ratio:.3}x of the committed \
+                     BENCH_decode.json ({measured} ns vs {pinned} ns, limit {GATE_MAX_RATIO}x)"
+                );
+            }
+        }
+        Err(e) => println!("no committed BENCH_decode.json to gate against ({e})"),
+    }
+
     if quick {
         println!("quick mode: skipping BENCH_decode.json");
         return;
@@ -151,18 +241,26 @@ fn main() {
          \"kernel_64x64_hl\": {{ \"optimized_ns\": {opt_ns}, \"reference_ns\": {ref_ns}, \
          \"samples_per_sec\": {samples_per_sec:.0}, \
          \"speedup_vs_reference\": {:.3}, \"speedup_vs_pre_pr\": {:.3} }},\n  \
+         \"idwt_256x256_l3\": {{ \"idwt53_ns\": {idwt53_ns}, \"idwt97_fixed_ns\": {idwt97_ns}, \
+         \"speedup_53_vs_pre_dwt\": {:.3}, \"speedup_97_vs_pre_dwt_f64\": {:.3} }},\n  \
          \"entropy_per_tile_ns\": {{ {} }},\n  \"decode_ns\": {{ {} }},\n  \
          \"decode_mb_per_s\": {{ {} }},\n  \
          \"baseline_pre_pr\": {{ \"kernel_64x64_hl_ns\": {BASELINE_KERNEL_NS}, \
          \"entropy_per_tile_ns\": {{ {} }}, \"decode_ns\": {{ {} }} }},\n  \
-         \"entropy_speedup_vs_pre_pr\": {{ {} }},\n  \"decode_speedup_vs_pre_pr\": {{ {} }}\n}}\n",
+         \"baseline_pre_dwt\": {{ \"idwt53_ns\": {BASELINE_IDWT53_NS}, \
+         \"idwt97_f64_ns\": {BASELINE_IDWT97_F64_NS}, \"decode_ns\": {{ {} }} }},\n  \
+         \"entropy_speedup_vs_pre_pr\": {{ {} }},\n  \"decode_speedup_vs_pre_pr\": {{ {} }},\n  \
+         \"decode_speedup_vs_pre_dwt\": {{ {} }}\n}}\n",
         ref_ns as f64 / opt_ns as f64,
         BASELINE_KERNEL_NS as f64 / opt_ns as f64,
+        BASELINE_IDWT53_NS as f64 / idwt53_ns as f64,
+        BASELINE_IDWT97_F64_NS as f64 / idwt97_ns as f64,
         num(&entropy_ns),
         num(&decode_ns),
         flt(&decode_mbps),
         num(&BASELINE_ENTROPY_NS),
         num(&BASELINE_DECODE_NS),
+        num(&BASELINE_PRE_DWT_DECODE_NS),
         flt(&entropy_ns
             .iter()
             .zip(&BASELINE_ENTROPY_NS)
@@ -173,8 +271,12 @@ fn main() {
             .zip(&BASELINE_DECODE_NS)
             .map(|(&(k, v), &(_, b))| (k, b as f64 / v as f64))
             .collect::<Vec<_>>()),
+        flt(&decode_ns
+            .iter()
+            .zip(&BASELINE_PRE_DWT_DECODE_NS)
+            .map(|(&(k, v), &(_, b))| (k, b as f64 / v as f64))
+            .collect::<Vec<_>>()),
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode.json");
     std::fs::write(path, &json).expect("write BENCH_decode.json");
     println!("wrote {path}");
 }

@@ -16,10 +16,10 @@ use crate::codestream::{
 use crate::ct::{
     dc_shift_forward, dc_shift_inverse, ict_forward, ict_inverse, rct_forward, rct_inverse,
 };
-use crate::dwt::{fdwt53_2d, fdwt97_2d, idwt53_2d_with, idwt97_2d_with};
+use crate::dwt::{fdwt53_2d, fdwt97_2d, fixed_round, idwt53_2d_with, idwt97_2d_fixed_with};
 use crate::error::{CodecError, CodecResult};
 use crate::image::{Image, Plane};
-use crate::quant::{band_step, dequantize, quantize, QuantMode};
+use crate::quant::{band_step, dequantize_fixed, quantize, step_fixed, QuantMode};
 use crate::scratch::DecodeScratch;
 use crate::t2::{read_packet, write_packet, BandBlocks, BlockContribution};
 use crate::tile::{codeblocks, resolution_bands, Band, Rect, TileGrid};
@@ -347,14 +347,15 @@ pub struct TileCoeffs {
     pub planes: Vec<Vec<i32>>,
 }
 
-/// A dequantised coefficient plane: integer for the reversible path, real
-/// for the irreversible path.
-#[derive(Debug, Clone, PartialEq)]
+/// A dequantised coefficient plane: plain integers for the reversible
+/// path, Q16 fixed point for the irreversible path — the whole lossy
+/// decode datapath is integer (see [`crate::dwt::idwt97_2d_fixed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoeffPlane {
     /// Reversible (5/3) coefficients.
     Int(Vec<i32>),
-    /// Irreversible (9/7) coefficients.
-    Real(Vec<f64>),
+    /// Irreversible (9/7) coefficients in Q16 fixed point.
+    Fixed(Vec<i32>),
 }
 
 /// Dequantised wavelet coefficients of one tile — the output of the IQ
@@ -799,16 +800,17 @@ impl StagedDecoder {
             .map(|q| match self.header.wavelet {
                 Wavelet::W53 => CoeffPlane::Int(q.clone()),
                 Wavelet::W97 => {
-                    let mut real = vec![0f64; q.len()];
+                    let mut fixed = vec![0i32; q.len()];
                     for band in crate::tile::subbands(rect.w, rect.h, self.header.levels as usize) {
-                        let step = band_step(mode, band.kind);
+                        let step_fix = step_fixed(band_step(mode, band.kind));
                         for y in band.rect.y0..band.rect.y0 + band.rect.h {
                             for x in band.rect.x0..band.rect.x0 + band.rect.w {
-                                real[y * rect.w + x] = dequantize(q[y * rect.w + x], step);
+                                fixed[y * rect.w + x] =
+                                    dequantize_fixed(q[y * rect.w + x], step_fix);
                             }
                         }
                     }
-                    CoeffPlane::Real(real)
+                    CoeffPlane::Fixed(fixed)
                 }
             })
             .collect();
@@ -819,7 +821,7 @@ impl StagedDecoder {
         }
     }
 
-    /// Stage 3 — inverse DWT (5/3 integer or 9/7 real lifting).
+    /// Stage 3 — inverse DWT (5/3 integer or 9/7 Q16 fixed-point lifting).
     pub fn idwt_tile(&self, wavelet: TileWavelet) -> TileSamples {
         self.idwt_tile_with(wavelet, &mut DecodeScratch::new())
     }
@@ -837,9 +839,12 @@ impl StagedDecoder {
                     idwt53_2d_with(&mut buf, rect.w, rect.h, levels, &mut scratch.dwt);
                     buf
                 }
-                CoeffPlane::Real(mut buf) => {
-                    idwt97_2d_with(&mut buf, rect.w, rect.h, levels, &mut scratch.dwt);
-                    buf.into_iter().map(|v| v.round() as i32).collect()
+                CoeffPlane::Fixed(mut buf) => {
+                    idwt97_2d_fixed_with(&mut buf, rect.w, rect.h, levels, &mut scratch.dwt);
+                    for v in &mut buf {
+                        *v = fixed_round(*v);
+                    }
+                    buf
                 }
             })
             .collect();
@@ -1009,17 +1014,17 @@ impl StagedDecoder {
                     buf
                 }
                 Wavelet::W97 => {
-                    let mut real = vec![0f64; q.len()];
+                    let mut fixed = vec![0i32; q.len()];
                     for band in crate::tile::subbands(tw, th, keep) {
-                        let step = band_step(mode, band.kind);
+                        let step_fix = step_fixed(band_step(mode, band.kind));
                         for y in band.rect.y0..band.rect.y0 + band.rect.h {
                             for x in band.rect.x0..band.rect.x0 + band.rect.w {
-                                real[y * tw + x] = dequantize(q[y * tw + x], step);
+                                fixed[y * tw + x] = dequantize_fixed(q[y * tw + x], step_fix);
                             }
                         }
                     }
-                    idwt97_2d_with(&mut real, tw, th, keep, &mut scratch.dwt);
-                    real.into_iter().map(|v| v.round() as i32).collect()
+                    idwt97_2d_fixed_with(&mut fixed, tw, th, keep, &mut scratch.dwt);
+                    fixed.into_iter().map(fixed_round).collect()
                 }
             })
             .collect();
@@ -1382,6 +1387,13 @@ mod tests {
     /// hashes below were recorded with the pre-flags-lattice Tier-1
     /// (reference path), so any coding or reconstruction drift in the
     /// optimised kernels fails here even if round-trips still close.
+    ///
+    /// The lossy *image* hash was re-pinned once when the irreversible
+    /// reconstruction path moved to Q16 fixed point (IQ → IDWT 9/7 →
+    /// ICT); the encoder stayed f64 so both stream hashes and the whole
+    /// lossless row are unchanged from the original recording. The
+    /// fixed-point output is within 2 LSB of the deferred-rounding f64
+    /// reference — see `fixed_point_pipeline_matches_f64_reference`.
     #[test]
     fn table1_workload_bytes_are_pinned() {
         for (mode, stream_fnv, image_fnv) in [
@@ -1389,7 +1401,7 @@ mod tests {
             (
                 Mode::lossy_default(),
                 0xc4f59ed9ded55b45,
-                0x658700bde59fc6d5,
+                0xa55e666bbf9d405d,
             ),
         ] {
             let img = Image::synthetic_rgb(128, 128, 2008);
@@ -1405,6 +1417,97 @@ mod tests {
             );
             assert_eq!(ih, image_fnv, "{mode:?} image");
         }
+    }
+
+    /// End-to-end accuracy of the integer irreversible datapath: decode
+    /// the Table-1 lossy workload through the production fixed-point
+    /// pipeline and through a pure-f64 re-derivation of the same stages
+    /// (f64 dequantisation, `dwt::reference::idwt97_2d`, f64 ICT, one
+    /// final round). Each integer stage is individually within 1 LSB of
+    /// its f64 counterpart (see the `dwt` proptests and the `ct` unit
+    /// test); end to end the pipeline rounds twice — after the IDWT and
+    /// inside the ICT — where the deferred-rounding reference rounds
+    /// once, so the tight whole-pipeline bound is 2 LSB. The PSNR
+    /// between the two is recorded in EXPERIMENTS.md.
+    #[test]
+    fn fixed_point_pipeline_matches_f64_reference() {
+        let img = Image::synthetic_rgb(128, 128, 2008);
+        let params = EncodeParams::new(Mode::lossy_default()).tile_size(32, 32);
+        let bytes = encode(&img, &params).unwrap();
+
+        // Production path: integer IQ → Q16 IDWT → integer ICT.
+        let out = decode(&bytes).unwrap().image;
+
+        // f64 reference path, staying real-valued until one final round.
+        let dec = StagedDecoder::new(&bytes).unwrap();
+        let mode = quant_mode(dec.header());
+        let levels = dec.header().levels as usize;
+        let depth = dec.header().depth;
+        let offset = f64::from(1i32 << (depth - 1));
+        let max = f64::from((1i32 << depth) - 1);
+        let mut reference = dec.blank_image();
+        for t in 0..dec.num_tiles() {
+            let coeffs = dec.entropy_decode_tile(t).unwrap();
+            let rect = coeffs.rect;
+            let mut planes: Vec<Vec<f64>> = coeffs
+                .planes
+                .iter()
+                .map(|q| {
+                    let mut f = vec![0.0f64; q.len()];
+                    for band in crate::tile::subbands(rect.w, rect.h, levels) {
+                        let step = band_step(mode, band.kind);
+                        for y in band.rect.y0..band.rect.y0 + band.rect.h {
+                            for x in band.rect.x0..band.rect.x0 + band.rect.w {
+                                f[y * rect.w + x] =
+                                    crate::quant::dequantize(q[y * rect.w + x], step);
+                            }
+                        }
+                    }
+                    crate::dwt::reference::idwt97_2d(&mut f, rect.w, rect.h, levels);
+                    f
+                })
+                .collect();
+            let (cb, cr) = (planes[1].clone(), planes[2].clone());
+            for i in 0..rect.w * rect.h {
+                let (y, cb, cr) = (planes[0][i], cb[i], cr[i]);
+                planes[0][i] = y + 1.402 * cr;
+                planes[1][i] = y - 0.344136 * cb - 0.714136 * cr;
+                planes[2][i] = y + 1.772 * cb;
+            }
+            let samples = TileSamples {
+                tile: t,
+                rect,
+                planes: planes
+                    .into_iter()
+                    .map(|p| {
+                        p.into_iter()
+                            .map(|v| (v + offset).clamp(0.0, max).round() as i32)
+                            .collect()
+                    })
+                    .collect(),
+            };
+            dec.place_tile(&mut reference, &samples);
+        }
+
+        let mut max_diff = 0i64;
+        let mut sq_err = 0.0f64;
+        let mut n = 0usize;
+        for (a, b) in out.components.iter().zip(&reference.components) {
+            for (&x, &y) in a.data.iter().zip(&b.data) {
+                let d = i64::from(x) - i64::from(y);
+                max_diff = max_diff.max(d.abs());
+                sq_err += (d * d) as f64;
+                n += 1;
+            }
+        }
+        let psnr = 10.0 * (max * max * n as f64 / sq_err.max(1e-12)).log10();
+        assert!(
+            max_diff <= 2,
+            "fixed-point pipeline drifted {max_diff} LSB from the f64 reference (PSNR {psnr:.1} dB)"
+        );
+        // Measured 52.8 dB on this workload; keep a generous floor so
+        // the assert documents the scale without being seed-brittle.
+        assert!(psnr >= 50.0, "pipeline PSNR vs f64 reference: {psnr:.1} dB");
     }
 
     #[test]

@@ -87,22 +87,40 @@ pub fn ict_forward(r: &mut Plane, g: &mut Plane, b: &mut Plane) {
     }
 }
 
-/// Inverse irreversible colour transform.
+/// Q16 fixed-point ICT inverse coefficients (rounded at compile time).
+mod ict_fix {
+    use crate::dwt::consts::FIX_ONE;
+
+    const fn q16(c: f64) -> i64 {
+        (c * FIX_ONE as f64 + 0.5) as i64
+    }
+
+    pub const R_CR: i64 = q16(1.402);
+    pub const G_CB: i64 = q16(0.344_136);
+    pub const G_CR: i64 = q16(0.714_136);
+    pub const B_CB: i64 = q16(1.772);
+}
+
+/// Inverse irreversible colour transform as integer multiply–shift: the
+/// matrix coefficients are pre-scaled to Q16 and each output channel is
+/// rounded once (`i64` accumulation, so hostile sample magnitudes cannot
+/// overflow). Matches the former `f64` implementation to within one LSB.
 ///
 /// # Panics
 ///
 /// Panics if the planes differ in geometry.
 pub fn ict_inverse(y: &mut Plane, cb: &mut Plane, cr: &mut Plane) {
+    use crate::dwt::consts::{FIX_HALF, FIX_SHIFT};
     assert_eq!(y.data.len(), cb.data.len());
     assert_eq!(cb.data.len(), cr.data.len());
     for i in 0..y.data.len() {
-        let (yv, cbv, crv) = (y.data[i] as f64, cb.data[i] as f64, cr.data[i] as f64);
-        let r = yv + 1.402 * crv;
-        let g = yv - 0.344_136 * cbv - 0.714_136 * crv;
-        let b = yv + 1.772 * cbv;
-        y.data[i] = r.round() as i32;
-        cb.data[i] = g.round() as i32;
-        cr.data[i] = b.round() as i32;
+        let (yv, cbv, crv) = (y.data[i] as i64, cb.data[i] as i64, cr.data[i] as i64);
+        let r = yv + ((ict_fix::R_CR * crv + FIX_HALF) >> FIX_SHIFT);
+        let g = yv - ((ict_fix::G_CB * cbv + ict_fix::G_CR * crv + FIX_HALF) >> FIX_SHIFT);
+        let b = yv + ((ict_fix::B_CB * cbv + FIX_HALF) >> FIX_SHIFT);
+        y.data[i] = r.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        cb.data[i] = g.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        cr.data[i] = b.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
     }
 }
 
@@ -167,6 +185,39 @@ mod tests {
         for (a, b_) in [(&r, &r0), (&g, &g0), (&b, &b0)] {
             for (x, y) in a.data.iter().zip(&b_.data) {
                 assert!((x - y).abs() <= 2, "ICT roundtrip drifted: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn ict_inverse_matches_f64_within_one_lsb() {
+        // The fixed-point inverse against the former per-sample f64 one,
+        // across the whole useful YCbCr range.
+        let f64_inverse = |yv: i32, cbv: i32, crv: i32| {
+            let (yv, cbv, crv) = (yv as f64, cbv as f64, crv as f64);
+            let r = yv + 1.402 * crv;
+            let g = yv - 0.344_136 * cbv - 0.714_136 * crv;
+            let b = yv + 1.772 * cbv;
+            (r.round() as i32, g.round() as i32, b.round() as i32)
+        };
+        for yv in (-128..=127).step_by(17) {
+            for cbv in (-180..=180).step_by(11) {
+                for crv in (-180..=180).step_by(13) {
+                    let mut y = Plane::from_data(1, 1, vec![yv]);
+                    let mut cb = Plane::from_data(1, 1, vec![cbv]);
+                    let mut cr = Plane::from_data(1, 1, vec![crv]);
+                    ict_inverse(&mut y, &mut cb, &mut cr);
+                    let (r, g, b) = f64_inverse(yv, cbv, crv);
+                    assert!(
+                        (y.data[0] - r).abs() <= 1
+                            && (cb.data[0] - g).abs() <= 1
+                            && (cr.data[0] - b).abs() <= 1,
+                        "({yv},{cbv},{crv}): fixed ({},{},{}) vs f64 ({r},{g},{b})",
+                        y.data[0],
+                        cb.data[0],
+                        cr.data[0]
+                    );
+                }
             }
         }
     }

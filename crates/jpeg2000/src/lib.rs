@@ -18,7 +18,8 @@
 //! * [`mq`] — the MQ binary arithmetic coder (47-state table, byte stuffing).
 //! * [`t1`] — EBCOT Tier-1 bit-plane coding (3 passes, 19 contexts).
 //! * [`t2`] — tag trees and packet headers (single layer, LRCP).
-//! * [`dwt`] — LeGall 5/3 (reversible) and CDF 9/7 (irreversible) lifting.
+//! * [`dwt`] — LeGall 5/3 (reversible) and CDF 9/7 (irreversible) lifting;
+//!   the 9/7 inverse runs in Q16 fixed point.
 //! * [`quant`] — dead-zone scalar quantiser.
 //! * [`ct`] — RCT/ICT component transforms and DC level shift.
 //! * [`codestream`] — marker-segment writer/parser.

@@ -1,5 +1,11 @@
 //! Dead-zone scalar quantisation (the case study's IQ stage inverts this).
+//!
+//! The decode direction has a fixed-point variant ([`step_fixed`],
+//! [`dequantize_fixed`]) that reconstructs Q16 coefficients straight
+//! from T1 magnitudes, feeding the integer 9/7 inverse
+//! ([`crate::dwt::idwt97_2d_fixed`]) without ever touching `f64`.
 
+use crate::dwt::consts::FIX_ONE;
 use crate::tile::BandKind;
 
 /// How coefficients are quantised.
@@ -55,6 +61,41 @@ pub fn dequantize(q: i32, step: f64) -> f64 {
         (q as f64 + 0.5) * step
     } else {
         (q as f64 - 0.5) * step
+    }
+}
+
+/// Upper bound on a Q16 step: `band_step` tops out below `2^18` (a
+/// `u32/65536` base step times the ×4 HH weight), so `2^34` covers every
+/// parsable codestream with headroom.
+const MAX_STEP_FIX: i64 = 1 << 34;
+
+/// A quantisation step in Q16 fixed point, for the integer IQ stage.
+/// Hostile steps (NaN, negative, enormous) clamp into `[0, 2^34]`.
+#[inline]
+pub fn step_fixed(step: f64) -> i64 {
+    let scaled = (step * FIX_ONE as f64).round();
+    if scaled.is_nan() {
+        0
+    } else {
+        scaled.clamp(0.0, MAX_STEP_FIX as f64) as i64
+    }
+}
+
+/// Mid-point reconstruction straight to Q16:
+/// `sign(q) · ((2|q| + 1) · Δ_fix) >> 1`, zero stays zero — the integer
+/// counterpart of [`dequantize`], saturating instead of wrapping on
+/// hostile magnitude × step products.
+#[inline]
+pub fn dequantize_fixed(q: i32, step_fix: i64) -> i32 {
+    if q == 0 {
+        return 0;
+    }
+    let m = q.unsigned_abs() as i64 * 2 + 1;
+    let v = (m.saturating_mul(step_fix) >> 1).min(i32::MAX as i64) as i32;
+    if q < 0 {
+        -v
+    } else {
+        v
     }
 }
 
@@ -116,5 +157,44 @@ mod tests {
     fn zero_roundtrips_exactly() {
         assert_eq!(quantize(0.0, 0.5), 0);
         assert_eq!(dequantize(0, 0.5), 0.0);
+        assert_eq!(dequantize_fixed(0, step_fixed(0.5)), 0);
+    }
+
+    #[test]
+    fn fixed_dequantize_tracks_f64_within_one_lsb() {
+        use crate::dwt::fixed_to_real;
+        for &step in &[0.03125, 0.5, 1.0, 2.5, 7.75] {
+            let sf = step_fixed(step);
+            for q in (-3000..3000).step_by(7) {
+                let want = dequantize(q, step);
+                let got = fixed_to_real(dequantize_fixed(q, sf));
+                // Q16 step representation + the >>1 floor: well under one
+                // reconstructed-sample LSB even at |q| in the thousands.
+                assert!(
+                    (want - got).abs() <= 0.5,
+                    "q={q} step={step}: {want} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_dequantize_is_odd_symmetric() {
+        let sf = step_fixed(0.8125);
+        for q in 0..500 {
+            assert_eq!(dequantize_fixed(-q, sf), -dequantize_fixed(q, sf));
+        }
+    }
+
+    #[test]
+    fn hostile_steps_and_magnitudes_saturate_instead_of_wrapping() {
+        assert_eq!(step_fixed(f64::NAN), 0);
+        assert_eq!(step_fixed(-3.0), 0);
+        assert_eq!(step_fixed(f64::INFINITY), MAX_STEP_FIX);
+        // Worst parsable step × worst T1 magnitude must not overflow.
+        let sf = step_fixed((u32::MAX as f64 / 65536.0) * 4.0);
+        let v = dequantize_fixed(1 << 18, sf);
+        assert_eq!(v, i32::MAX);
+        assert_eq!(dequantize_fixed(-(1 << 18), sf), -i32::MAX);
     }
 }

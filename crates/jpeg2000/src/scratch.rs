@@ -6,7 +6,9 @@
 //! magnitudes, signs) plus four more per inverse-DWT call. A
 //! [`DecodeScratch`] owns all of them; [`crate::codec::decode`] reuses
 //! one across every tile, and [`crate::parallel`] gives each worker its
-//! own so no synchronisation is needed.
+//! own so no synchronisation is needed. Since the irreversible path went
+//! fixed point, the DWT part is two `i32` buffers (one interleaved row,
+//! one saved half-plane) — the arena carries no `f64` at all.
 
 use crate::dwt::DwtScratch;
 use crate::t1::T1Scratch;
@@ -47,14 +49,14 @@ impl DecodeCounters {
 }
 
 /// Reusable decode buffers: the Tier-1 flags/magnitude/sign planes and
-/// the DWT row/column scratch. Buffers grow to the largest code-block,
-/// column and row seen and are then reused; dropping the arena frees
-/// everything at once.
+/// the DWT row/half-plane scratch. Buffers grow to the largest
+/// code-block, row and half-plane seen and are then reused; dropping the
+/// arena frees everything at once.
 #[derive(Debug, Clone, Default)]
 pub struct DecodeScratch {
     /// Tier-1 per-code-block buffers.
     pub(crate) t1: T1Scratch,
-    /// Inverse-DWT row/column buffers.
+    /// Inverse-DWT row and saved-half-plane buffers.
     pub(crate) dwt: DwtScratch,
     /// Tile-level tallies (the block-level ones live in `t1`).
     pub(crate) tiles: u64,

@@ -4,7 +4,9 @@ use jpeg2000::codec::{
     decode, decode_quality, decode_thumbnail, decode_tolerant, encode, EncodeParams, Mode,
 };
 use jpeg2000::ct::{dc_shift_forward, dc_shift_inverse, rct_forward, rct_inverse};
-use jpeg2000::dwt::{fdwt53_2d, fdwt97_2d, idwt53_2d, idwt97_2d};
+use jpeg2000::dwt::{
+    fdwt53_2d, fdwt97_2d, fixed_from_real, fixed_to_real, idwt53_2d, idwt97_2d_fixed,
+};
 use jpeg2000::image::{Image, Plane};
 use jpeg2000::mq::{MqContext, MqDecoder, MqEncoder};
 use jpeg2000::parallel::decode_parallel;
@@ -52,7 +54,9 @@ proptest! {
         prop_assert_eq!(buf, orig);
     }
 
-    /// 9/7 real lifting reconstructs within floating-point tolerance.
+    /// The f64 9/7 analysis followed by the Q16 fixed-point synthesis
+    /// reconstructs to within the fixed-point tolerance (well under half
+    /// an integer sample) for any geometry, level count and content.
     #[test]
     fn dwt97_reconstruction_close(
         w in 1usize..32,
@@ -65,9 +69,11 @@ proptest! {
         let orig: Vec<f64> = (0..w * h).map(|_| rng.gen_range(-200.0..200.0)).collect();
         let mut buf = orig.clone();
         fdwt97_2d(&mut buf, w, h, levels);
-        idwt97_2d(&mut buf, w, h, levels);
-        for (a, b) in buf.iter().zip(&orig) {
-            prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        let mut fixed: Vec<i32> = buf.iter().map(|&v| fixed_from_real(v)).collect();
+        idwt97_2d_fixed(&mut fixed, w, h, levels);
+        for (a, b) in fixed.iter().zip(&orig) {
+            let a = fixed_to_real(*a);
+            prop_assert!((a - b).abs() < 0.5, "{} vs {}", a, b);
         }
     }
 

@@ -187,6 +187,44 @@ mod tests {
         assert!(slow.rederived.as_ps() > 0);
     }
 
+    /// The EET re-derivation has exactly two inputs besides the fresh
+    /// measurement: the paper's 180 ms/tile anchor and the
+    /// pre-optimisation native entropy baseline. Neither depends on the
+    /// reconstruction stages, so datapath work (e.g. the fixed-point
+    /// DWT rewrite) must leave them — and every simulated latency built
+    /// on them — untouched. Pin both, and cross-check that the
+    /// committed `BENCH_decode.json` still records the same anchor
+    /// under `baseline_pre_pr`.
+    #[test]
+    fn eet_derivation_inputs_are_pinned() {
+        assert_eq!(pre_optimisation_entropy_ns(ModeSel::Lossless), 729_004);
+        assert_eq!(pre_optimisation_entropy_ns(ModeSel::Lossy), 795_882);
+        assert_eq!(ARITH_PER_TILE, SimTime::ms(180));
+
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode.json");
+        let json = std::fs::read_to_string(path).expect("committed BENCH_decode.json");
+        let pre_pr = &json[json
+            .find("\"baseline_pre_pr\"")
+            .expect("baseline_pre_pr block")..];
+        let entropy = &pre_pr[pre_pr
+            .find("\"entropy_per_tile_ns\"")
+            .expect("entropy_per_tile_ns block")..];
+        let entropy = &entropy[..entropy.find('}').expect("closing brace") + 1];
+        for (name, mode) in [("lossless", ModeSel::Lossless), ("lossy", ModeSel::Lossy)] {
+            let v = &entropy[entropy.find(&format!("\"{name}\"")).expect(name)..];
+            let digits: String = v
+                .chars()
+                .skip_while(|c| !c.is_ascii_digit())
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
+            assert_eq!(
+                digits.parse::<u64>().unwrap(),
+                pre_optimisation_entropy_ns(mode),
+                "{name}: BENCH_decode.json baseline_pre_pr drifted from the EET anchor"
+            );
+        }
+    }
+
     #[test]
     fn measured_eet_is_sane_and_not_slower_than_paper_anchor_by_much() {
         for mode in ModeSel::ALL {
