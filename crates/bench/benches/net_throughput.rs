@@ -1,0 +1,177 @@
+//! Sustained-throughput benchmark for the network decode server: N
+//! concurrent TCP clients hammer the Table-1 streams over loopback,
+//! measuring what the framed wire protocol and handler pool cost on
+//! top of the in-process service —
+//!
+//! * **in_process** — the same request mix straight into the
+//!   `DecodeService`, the baseline `serve_throughput` measures;
+//! * **networked** — identical mix through `DecodeServer` + `Client`
+//!   over 127.0.0.1, so the delta is framing + CRC + TCP.
+//!
+//! Results go to `BENCH_net.json` at the repository root. `--test`
+//! (how `cargo test --benches` invokes bench targets) or
+//! `BENCH_QUICK=1` run a reduced smoke pass and skip the JSON write.
+//! In every mode the run asserts the server and service accounting
+//! identities and that every networked strict decode is bit-exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jpeg2000::image::Image;
+use jpeg2000::net::{Client, NetRetryPolicy};
+use jpeg2000::server::{DecodeServer, ServerConfig};
+use jpeg2000::service::{DecodeService, Request, RequestKind, ServiceConfig};
+use jpeg2000_models::workload::workload;
+use jpeg2000_models::ModeSel;
+
+const CLIENTS: usize = 4;
+
+fn request_for(i: usize) -> Request {
+    let kind = match i % 3 {
+        0 => RequestKind::Strict,
+        1 => RequestKind::Tolerant,
+        _ => RequestKind::Thumbnail { max_res: 0 },
+    };
+    Request {
+        kind,
+        timeout: None,
+    }
+}
+
+fn service() -> Arc<DecodeService> {
+    Arc::new(DecodeService::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 2 * CLIENTS,
+        ..ServiceConfig::default()
+    }))
+}
+
+/// In-process baseline: requests/second straight into the service.
+fn in_process_rate(svc: &DecodeService, streams: &[&[u8]], per_client: usize) -> f64 {
+    let done = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let done = &done;
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let bytes = streams[(c + i) % streams.len()];
+                    let ticket = svc
+                        .submit_wait(bytes, request_for(i), Duration::from_secs(60))
+                        .expect("bench submission");
+                    ticket.wait().expect("bench decode");
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    done.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Networked rate: the same mix through TCP clients with
+/// retry-on-busy, asserting strict responses bit-exact against the
+/// pinned references.
+fn networked_rate(
+    server: &DecodeServer,
+    streams: &[&[u8]],
+    references: &[&Image],
+    per_client: usize,
+) -> f64 {
+    let addr = server.local_addr();
+    let done = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let done = &done;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let policy = NetRetryPolicy {
+                    max_retries: 100,
+                    jitter_seed: c as u64,
+                    ..NetRetryPolicy::default()
+                };
+                for i in 0..per_client {
+                    let si = (c + i) % streams.len();
+                    let req = request_for(i);
+                    let resp = client
+                        .decode_retry(&req, streams[si], &policy)
+                        .expect("networked decode");
+                    if req.kind == RequestKind::Strict {
+                        assert_eq!(
+                            resp.image, *references[si],
+                            "networked strict decode must be bit-exact"
+                        );
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    done.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--test") || std::env::var_os("BENCH_QUICK").is_some();
+    let per_client = if quick { 6 } else { 40 };
+
+    let lossless = workload(ModeSel::Lossless);
+    let lossy = workload(ModeSel::Lossy);
+    let streams: Vec<&[u8]> = vec![&lossless.codestream, &lossy.codestream];
+    let references: Vec<&Image> = vec![&lossless.reference, &lossy.reference];
+
+    let svc = service();
+    let in_process = in_process_rate(&svc, &streams, per_client);
+    let stats = Arc::try_unwrap(svc).ok().expect("sole owner").shutdown();
+    assert!(stats.reconciles(), "in-process accounting must reconcile");
+    println!("in_process: {in_process:.1} req/s");
+
+    let svc = service();
+    let server = DecodeServer::start(
+        Arc::clone(&svc),
+        "127.0.0.1:0",
+        ServerConfig {
+            handler_threads: CLIENTS,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let networked = networked_rate(&server, &streams, &references, per_client);
+    let server_stats = server.shutdown();
+    assert!(
+        server_stats.reconciles(),
+        "server accounting must reconcile: {server_stats:?}"
+    );
+    let svc_stats = Arc::try_unwrap(svc).ok().expect("sole owner").shutdown();
+    assert!(svc_stats.reconciles(), "service accounting must reconcile");
+    assert_eq!(
+        svc_stats.submitted,
+        server_stats.ok + server_stats.expired + server_stats.failed + server_stats.internal,
+        "one service submission per admitted request"
+    );
+    println!(
+        "networked:  {networked:.1} req/s  (busy retries {}, frames {}/{})",
+        server_stats.busy, server_stats.frames_in, server_stats.frames_out
+    );
+    let overhead = in_process / networked;
+    println!("network overhead: {overhead:.2}x vs in-process");
+
+    if quick {
+        println!("quick mode: skipping BENCH_net.json");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"net_throughput\",\n  \
+         \"workload\": \"table1_128x128_rgb_16_tiles_x2_modes\",\n  \
+         \"clients\": {CLIENTS},\n  \"requests_per_client\": {per_client},\n  \
+         \"sustained_req_per_s\": {{ \"in_process\": {in_process:.3}, \
+         \"networked\": {networked:.3} }},\n  \
+         \"network_overhead_factor\": {overhead:.3},\n  \
+         \"busy_retries\": {},\n  \"frames_in\": {},\n  \"frames_out\": {}\n}}\n",
+        server_stats.busy, server_stats.frames_in, server_stats.frames_out,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    std::fs::write(path, &json).expect("write BENCH_net.json");
+    println!("wrote {path}");
+}

@@ -36,6 +36,10 @@
 //!   fault-injection testing of the whole decode surface (see
 //!   `tests/fuzz_decode.rs`); [`codec::decode_tolerant`] is the
 //!   error-resilient entry point it exercises.
+//! * [`net`] / [`server`] — a length-prefixed, CRC-framed wire
+//!   protocol and a std-only TCP front-end ([`server::DecodeServer`])
+//!   over the decode service, with a blocking [`net::Client`] that
+//!   retries on backpressure.
 //!
 //! ## Example
 //!
@@ -61,9 +65,11 @@ pub mod fuzz;
 pub mod image;
 pub mod io;
 pub mod mq;
+pub mod net;
 pub mod parallel;
 pub mod quant;
 pub mod scratch;
+pub mod server;
 pub mod service;
 pub mod t1;
 pub mod t2;

@@ -54,9 +54,36 @@ use crate::scratch::DecodeScratch;
 use osss_sim::probe::{Counter, Gauge, Histogram, MetricsRegistry};
 use osss_sim::SimTime;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Locks `m`, recovering from poisoning.
+///
+/// Poisoning only records that *some* thread panicked while holding the
+/// guard; it does not mean the data is broken. Every critical section
+/// in this module either performs a single push/pop on the queue or
+/// goes through [`LruCache`] methods that restore their size
+/// accounting before returning, so the state behind a poisoned lock is
+/// still consistent and the right response is to keep serving — not to
+/// propagate a panic into every later `submit`/`stats`/`shutdown`
+/// (regression: `service_survives_a_poisoned_lock`).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort text of a caught panic payload (`&str` and `String`
+/// cover everything `panic!` produces in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Configuration and request types
@@ -184,6 +211,10 @@ pub enum ServiceError {
     ShuttingDown,
     /// The decode itself failed.
     Decode(CodecError),
+    /// The worker panicked while serving this request. The panic was
+    /// caught, the worker kept alive, and the request resolved as
+    /// failed; the payload is the panic message.
+    Panicked(String),
     /// The worker disappeared without replying (a worker panic —
     /// should not happen; reported rather than hanging the caller).
     Lost,
@@ -197,6 +228,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Cancelled => write!(f, "request cancelled"),
             ServiceError::ShuttingDown => write!(f, "service shutting down"),
             ServiceError::Decode(e) => write!(f, "decode failed: {e}"),
+            ServiceError::Panicked(msg) => write!(f, "worker panicked: {msg}"),
             ServiceError::Lost => write!(f, "worker lost before replying"),
         }
     }
@@ -249,6 +281,22 @@ impl Ticket {
 
     /// Blocks up to `timeout` for the result; `None` if it is still
     /// pending (the request keeps running — the ticket remains valid).
+    ///
+    /// # Contract
+    ///
+    /// `None` says only that the request has not *resolved* yet — it
+    /// does not distinguish "still queued" from "decoding right now",
+    /// and it never removes the request from the service. A caller
+    /// that gives up must say so explicitly: call [`Ticket::cancel`]
+    /// (then drop the ticket) and the request resolves
+    /// [`ServiceError::Cancelled`] at its next tile boundary — or as
+    /// its real outcome, if it won the race. Either way the request
+    /// contributes **exactly one** outcome to [`ServiceStats`], alive
+    /// ticket or not, so `reconciles()` holds after a drain
+    /// (regression: `abandoned_then_cancelled_request_counts_once`).
+    /// Simply dropping the ticket without cancelling also keeps the
+    /// accounting exact, but the decode runs (and is tallied) to
+    /// completion.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<ServiceResponse, ServiceError>> {
         match self.rx.recv_timeout(timeout) {
             Ok(r) => Some(r),
@@ -411,6 +459,10 @@ struct Job {
     /// are deterministic without huge images.
     #[cfg(test)]
     tile_delay: Option<Duration>,
+    /// Test hook: panic inside the worker before this tile index — the
+    /// injected failure behind the panic-containment regressions.
+    #[cfg(test)]
+    panic_at: Option<usize>,
     /// Test hook: the worker parks on this gate (open = true) after
     /// claiming the job, so tests can hold a worker busy at will.
     #[cfg(test)]
@@ -709,6 +761,8 @@ impl DecodeService {
             #[cfg(test)]
             tile_delay: None,
             #[cfg(test)]
+            panic_at: None,
+            #[cfg(test)]
             gate: None,
         };
         self.enqueue(job, space_timeout)?;
@@ -717,7 +771,7 @@ impl DecodeService {
 
     fn enqueue(&self, job: Job, space_timeout: Option<Duration>) -> Result<(), ServiceError> {
         let shared = &self.shared;
-        let mut state = shared.state.lock().expect("service queue lock");
+        let mut state = lock_unpoisoned(&shared.state);
         if state.shutting_down {
             return Err(ServiceError::ShuttingDown);
         }
@@ -746,7 +800,7 @@ impl DecodeService {
                 state = shared
                     .space
                     .wait_timeout(state, wait_deadline - now)
-                    .expect("service queue lock")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .0;
             }
         }
@@ -783,16 +837,8 @@ impl DecodeService {
     /// Entries currently held by the (header, image) caches.
     pub fn cache_entries(&self) -> (usize, usize) {
         (
-            self.shared
-                .header_cache
-                .lock()
-                .expect("header cache lock")
-                .len(),
-            self.shared
-                .image_cache
-                .lock()
-                .expect("image cache lock")
-                .len(),
+            lock_unpoisoned(&self.shared.header_cache).len(),
+            lock_unpoisoned(&self.shared.image_cache).len(),
         )
     }
 
@@ -808,7 +854,7 @@ impl DecodeService {
     }
 
     fn begin_shutdown(&self) {
-        let mut state = self.shared.state.lock().expect("service queue lock");
+        let mut state = lock_unpoisoned(&self.shared.state);
         state.shutting_down = true;
         drop(state);
         self.shared.work.notify_all();
@@ -837,7 +883,7 @@ fn worker_loop(shared: &Shared) {
     let mut scratch = DecodeScratch::new();
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("service queue lock");
+            let mut state = lock_unpoisoned(&shared.state);
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     shared.set_depth(state.queue.len());
@@ -846,7 +892,10 @@ fn worker_loop(shared: &Shared) {
                 if state.shutting_down {
                     return;
                 }
-                state = shared.work.wait(state).expect("service queue lock");
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         shared.space.notify_one();
@@ -864,7 +913,18 @@ fn handle(shared: &Shared, job: Job, scratch: &mut DecodeScratch) {
         m.queue_wait.observe(sim_time(queue_wait));
     }
     let started = Instant::now();
-    let outcome = serve(shared, &job, scratch);
+    // A panicking decode (or test hook) must not kill the worker: the
+    // pool would silently shrink, the ticket would resolve `Lost` only
+    // because the channel closed, and the `submitted == outcomes`
+    // identity behind `ServiceStats::reconciles` would break. Catch
+    // the unwind, resolve the request as failed, keep serving.
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| serve(shared, &job, scratch))).unwrap_or_else(|payload| {
+            // The arena may have been mid-rewrite when the stack
+            // unwound; a fresh one is cheap and provably clean.
+            *scratch = DecodeScratch::new();
+            Err(ServiceError::Panicked(panic_message(payload.as_ref())))
+        });
     let service_time = started.elapsed();
     if let Some(m) = &shared.meters {
         m.service_time.observe(sim_time(service_time));
@@ -899,6 +959,10 @@ fn serve(shared: &Shared, job: &Job, scratch: &mut DecodeScratch) -> Result<Serv
             return Err(ServiceError::DeadlineExceeded);
         }
         #[cfg(test)]
+        if job.panic_at.is_some_and(|at| _tile >= at) {
+            panic!("injected worker panic before tile {_tile}");
+        }
+        #[cfg(test)]
         if let Some(d) = job.tile_delay {
             std::thread::sleep(d);
         }
@@ -908,12 +972,7 @@ fn serve(shared: &Shared, job: &Job, scratch: &mut DecodeScratch) -> Result<Serv
 
     // Level 2: full decoded image.
     let image_key = (job.key, job.request.kind);
-    if let Some(hit) = shared
-        .image_cache
-        .lock()
-        .expect("image cache lock")
-        .get(&image_key)
-    {
+    if let Some(hit) = lock_unpoisoned(&shared.image_cache).get(&image_key) {
         shared.bump(&shared.tallies.image_hits, |m| &m.image_hits);
         return Ok((hit.image, hit.report, ServedFrom::ImageCache));
     }
@@ -922,11 +981,7 @@ fn serve(shared: &Shared, job: &Job, scratch: &mut DecodeScratch) -> Result<Serv
     // Level 1: parsed header.
     let tolerant = job.request.kind == RequestKind::Tolerant;
     let header_key = (job.key, tolerant);
-    let cached = shared
-        .header_cache
-        .lock()
-        .expect("header cache lock")
-        .get(&header_key);
+    let cached = lock_unpoisoned(&shared.header_cache).get(&header_key);
     let (header, served_from) = match cached {
         Some(h) => {
             shared.bump(&shared.tallies.header_hits, |m| &m.header_hits);
@@ -947,11 +1002,11 @@ fn serve(shared: &Shared, job: &Job, scratch: &mut DecodeScratch) -> Result<Serv
                     base_report: None,
                 }
             };
-            let evicted = shared
-                .header_cache
-                .lock()
-                .expect("header cache lock")
-                .insert(header_key, header.clone(), job.stream.len());
+            let evicted = lock_unpoisoned(&shared.header_cache).insert(
+                header_key,
+                header.clone(),
+                job.stream.len(),
+            );
             shared
                 .tallies
                 .header_evictions
@@ -965,7 +1020,7 @@ fn serve(shared: &Shared, job: &Job, scratch: &mut DecodeScratch) -> Result<Serv
 
     let (image, report) = run_decode(&header, job.request.kind, scratch, &check)?;
     let image = Arc::new(image);
-    let evicted = shared.image_cache.lock().expect("image cache lock").insert(
+    let evicted = lock_unpoisoned(&shared.image_cache).insert(
         image_key,
         CachedImage {
             image: Arc::clone(&image),
@@ -1090,6 +1145,17 @@ mod tests {
         tile_delay: Option<Duration>,
         gate: Option<Arc<Gate>>,
     ) -> Result<Ticket, ServiceError> {
+        submit_hooked_panicking(svc, bytes, request, tile_delay, gate, None)
+    }
+
+    fn submit_hooked_panicking(
+        svc: &DecodeService,
+        bytes: &[u8],
+        request: Request,
+        tile_delay: Option<Duration>,
+        gate: Option<Arc<Gate>>,
+        panic_at: Option<usize>,
+    ) -> Result<Ticket, ServiceError> {
         let stream: Arc<[u8]> = bytes.into();
         let key = StreamKey::of(&stream);
         let now = Instant::now();
@@ -1104,6 +1170,7 @@ mod tests {
             cancel: Arc::clone(&cancel),
             reply: tx,
             tile_delay,
+            panic_at,
             gate,
         };
         svc.enqueue(job, None)?;
@@ -1484,6 +1551,127 @@ mod tests {
         assert_ne!(a, StreamKey::of(b"abd"));
         assert_ne!(a, StreamKey::of(b"abcc"));
         assert_ne!(StreamKey::of(b""), StreamKey::of(b"\0"));
+    }
+
+    #[test]
+    fn worker_panic_resolves_the_ticket_and_keeps_the_worker_alive() {
+        let bytes = stream(40);
+        let svc = service(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        // The injected panic fires inside the (single) worker, before
+        // tile 0. Without the unwind catch the worker thread dies: this
+        // wait would report `Lost`, and the follow-up decode would hang
+        // forever in an empty pool.
+        let doomed =
+            submit_hooked_panicking(&svc, &bytes, Request::strict(), None, None, Some(0)).unwrap();
+        match doomed.wait().unwrap_err() {
+            ServiceError::Panicked(msg) => assert!(msg.contains("injected worker panic"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // Same worker, next request: still serving, bit-exact.
+        let ok = svc.decode(&bytes[..], Request::strict()).unwrap();
+        assert_eq!(*ok.image, decode(&bytes).unwrap().image);
+        // A panic mid-decode resolves as failed, once.
+        let stats = svc.shutdown();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+        assert!(stats.reconciles());
+    }
+
+    #[test]
+    fn worker_panic_mid_decode_still_reconciles() {
+        let bytes = stream(41);
+        let svc = service(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        // Panic after the first tile (the stream has 4): the arena is
+        // mid-request when the stack unwinds.
+        let doomed =
+            submit_hooked_panicking(&svc, &bytes, Request::strict(), None, None, Some(2)).unwrap();
+        assert!(matches!(
+            doomed.wait().unwrap_err(),
+            ServiceError::Panicked(_)
+        ));
+        for _ in 0..3 {
+            let ok = svc.decode(&bytes[..], Request::strict()).unwrap();
+            assert_eq!(*ok.image, decode(&bytes).unwrap().image);
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 3);
+        assert!(stats.reconciles());
+    }
+
+    #[test]
+    fn service_survives_a_poisoned_lock() {
+        let bytes = stream(42);
+        let svc = service(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        svc.decode(&bytes[..], Request::strict()).unwrap();
+        // Poison the queue mutex (and both cache mutexes) the way a
+        // stray panic would: lock, panic, unwind. Before the recovery
+        // fix, every later submit/stats/shutdown panicked on
+        // `.expect("service queue lock")`.
+        let shared = Arc::clone(&svc.shared);
+        std::thread::spawn(move || {
+            let _queue = shared.state.lock().unwrap();
+            let _headers = shared.header_cache.lock().unwrap();
+            let _images = shared.image_cache.lock().unwrap();
+            panic!("deliberate poisoning");
+        })
+        .join()
+        .unwrap_err();
+        assert!(svc.shared.state.is_poisoned(), "the panic must poison");
+        // The service shrugs: submissions, cache reads, stats and the
+        // graceful shutdown all still work.
+        let r = svc.decode(&bytes[..], Request::strict()).unwrap();
+        assert_eq!(r.served_from, ServedFrom::ImageCache);
+        assert_eq!(svc.cache_entries().1, 1);
+        let stats = svc.shutdown();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert!(stats.reconciles());
+    }
+
+    #[test]
+    fn abandoned_then_cancelled_request_counts_once() {
+        let bytes = stream(43);
+        let svc = service(ServiceConfig {
+            workers: 1,
+            image_cache_bytes: 0,
+            ..ServiceConfig::default()
+        });
+        // 4 tiles × 60 ms: wait_timeout(10 ms) fires mid-tile-0, the
+        // cancel lands long before the tile-1 check.
+        let ticket = submit_hooked(
+            &svc,
+            &bytes,
+            Request::strict(),
+            Some(Duration::from_millis(60)),
+            None,
+        )
+        .unwrap();
+        assert!(
+            ticket.wait_timeout(Duration::from_millis(10)).is_none(),
+            "request must still be running at the timeout"
+        );
+        // The documented abandonment protocol: cancel, then drop.
+        ticket.cancel();
+        drop(ticket);
+        // Shutdown drains the request; it must be tallied exactly once,
+        // as cancelled, despite nobody waiting on it.
+        let stats = svc.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.completed, 0);
+        assert!(stats.reconciles());
     }
 
     #[test]

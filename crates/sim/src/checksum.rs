@@ -1,0 +1,68 @@
+//! Shared checksums for framed transports.
+//!
+//! The reliable-RMI layer (`osss-vta`) and the native network decode
+//! server (`jpeg2000::net`) both frame their payloads with the same
+//! CRC-32 trailer; this module is the single implementation both link
+//! against, so the simulated transport and the real wire protocol are
+//! checked by literally the same code — the refinement story the paper
+//! tells for communication, applied to the checksum itself.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `data`.
+///
+/// This is the checksum both the reliable-RMI frame trailer and the
+/// network decode protocol carry; the receiver recomputes it over the
+/// payload and rejects the frame on mismatch. Same algorithm as
+/// Ethernet/zip, so `crc32(b"123456789") == 0xCBF4_3926`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_any_single_bit_flip() {
+        let data: Vec<u8> = (0u32..64).map(|i| (i * 37 % 251) as u8).collect();
+        let good = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc32(&bad), good, "flip at {byte}.{bit} undetected");
+            }
+        }
+    }
+}

@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+pub mod checksum;
 mod context;
 mod error;
 mod event;

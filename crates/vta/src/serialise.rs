@@ -163,41 +163,11 @@ impl<T: Serialise, const N: usize> Serialise for [T; N] {
     }
 }
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static CRC32_TABLE: [u32; 256] = crc32_table();
-
-/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `data`.
-///
-/// This is the checksum the reliable-RMI frame trailer carries; the
-/// receiver recomputes it over the payload and rejects the frame on
-/// mismatch. Same algorithm as Ethernet/zip, so
-/// `crc32(b"123456789") == 0xCBF4_3926`.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+/// CRC-32 (IEEE 802.3) over `data` — the reliable-RMI frame trailer
+/// checksum. Hoisted to [`osss_sim::checksum`] so the native network
+/// decode protocol shares the exact implementation; re-exported here
+/// so existing `serialise::crc32` users are unaffected.
+pub use osss_sim::checksum::crc32;
 
 #[cfg(test)]
 mod tests {

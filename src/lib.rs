@@ -47,11 +47,13 @@ pub use osss_vta as vta;
 
 pub use jpeg2000::codec::{decode_tolerant, DecodeReport, DecodeStage, TileFailure};
 pub use jpeg2000::error::{CodecError, ErrorSite};
+pub use jpeg2000::net::{Client, NetError, NetResponse, NetRetryPolicy, WireError, WireReport};
 pub use jpeg2000::parallel::{
     decode_parallel, decode_parallel_observed, decode_tolerant_parallel, ParallelDecoder,
     ParallelStats,
 };
 pub use jpeg2000::scratch::{DecodeCounters, DecodeScratch};
+pub use jpeg2000::server::{DecodeServer, ServerConfig, ServerStats};
 pub use jpeg2000::service::{
     DecodeService, Request, RequestKind, ServedFrom, ServiceConfig, ServiceError, ServiceResponse,
     ServiceStats, Ticket,
