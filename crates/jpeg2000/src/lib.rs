@@ -40,6 +40,10 @@
 //!   protocol and a std-only TCP front-end ([`server::DecodeServer`])
 //!   over the decode service, with a blocking [`net::Client`] that
 //!   retries on backpressure.
+//! * [`chaos`] — a deterministic TCP chaos proxy
+//!   ([`chaos::ChaosProxy`]) that injects partial writes, stalls, byte
+//!   corruption, connection drops and blackholes between client and
+//!   server from a seeded, replayable schedule (see `tests/chaos.rs`).
 //!
 //! ## Example
 //!
@@ -56,6 +60,7 @@
 //! # }
 //! ```
 
+pub mod chaos;
 pub mod codec;
 pub mod codestream;
 pub mod ct;

@@ -41,7 +41,7 @@ use crate::service::{Request, RequestKind, ServedFrom, ServiceError};
 use osss_sim::checksum::crc32;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Frame magic: `"J2KD"`.
 pub const FRAME_MAGIC: u32 = 0x4A32_4B44;
@@ -156,6 +156,14 @@ pub enum NetError {
         /// Busy responses absorbed before giving up.
         attempts: u32,
     },
+    /// The client-side operation deadline elapsed before a complete
+    /// reply arrived ([`Client::op_deadline`]) — the server (or the
+    /// path to it) stalled mid-frame.
+    Timeout,
+    /// The client's [`CircuitBreaker`] is open: recent transport
+    /// failures tripped it and the cooldown has not elapsed, so the
+    /// request was failed fast without touching the network.
+    CircuitOpen,
 }
 
 impl std::fmt::Display for NetError {
@@ -171,6 +179,8 @@ impl std::fmt::Display for NetError {
             NetError::RetriesExhausted { attempts } => {
                 write!(f, "server still busy after {attempts} attempts")
             }
+            NetError::Timeout => write!(f, "client operation deadline elapsed"),
+            NetError::CircuitOpen => write!(f, "circuit breaker open: failing fast"),
         }
     }
 }
@@ -220,11 +230,16 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// surfaced as `Io` with kind `WouldBlock`/`TimedOut`).
 pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> Result<Option<Vec<u8>>, WireError> {
     let mut head = [0u8; 8];
-    // First byte distinguishes clean EOF from a truncated frame.
-    match r.read(&mut head[..1]) {
-        Ok(0) => return Ok(None),
-        Ok(_) => {}
-        Err(e) => return Err(WireError::from(e)),
+    // First byte distinguishes clean EOF from a truncated frame; like
+    // `read_exact` below, a spurious `Interrupted` is retried rather
+    // than surfaced.
+    loop {
+        match r.read(&mut head[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::from(e)),
+        }
     }
     r.read_exact(&mut head[1..])?;
     let magic = u32::from_le_bytes(head[..4].try_into().expect("4-byte slice"));
@@ -749,6 +764,204 @@ impl NetRetryPolicy {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Where a [`CircuitBreaker`] currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Traffic flows; consecutive transport failures are being counted.
+    Closed,
+    /// Tripped: requests fail fast with [`NetError::CircuitOpen`] until
+    /// the cooldown elapses.
+    Open,
+    /// Cooldown elapsed and exactly one probe request is in flight; its
+    /// outcome closes or re-opens the circuit.
+    HalfOpen,
+}
+
+/// A consecutive-failure circuit breaker for the network client.
+///
+/// A blackholed or dead server makes every request pay its full
+/// deadline before failing; once `threshold` consecutive *transport*
+/// failures accumulate (timeouts and wire errors — a server-answered
+/// error, even `Busy`, proves the path works and resets the count),
+/// the breaker opens and [`Client::decode_retry_guarded`] fails fast
+/// with [`NetError::CircuitOpen`] without touching the network. After
+/// `cooldown`, the next caller is granted exactly one deterministic
+/// half-open probe: success closes the circuit, failure re-opens it
+/// for another full cooldown. All decisions are pure functions of the
+/// observed outcome sequence and elapsed time — no randomness.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probing: bool,
+}
+
+impl CircuitBreaker {
+    /// A breaker tripping after `threshold` consecutive transport
+    /// failures (clamped to ≥ 1) and re-probing after `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            opened_at: None,
+            probing: false,
+        }
+    }
+
+    /// The current state (evaluating the cooldown against now).
+    pub fn state(&self) -> CircuitState {
+        if self.probing {
+            CircuitState::HalfOpen
+        } else {
+            match self.opened_at {
+                Some(at) if at.elapsed() < self.cooldown => CircuitState::Open,
+                Some(_) => CircuitState::HalfOpen,
+                None => CircuitState::Closed,
+            }
+        }
+    }
+
+    /// Asks to send one request. `true` admits it (and, when the
+    /// circuit was open past its cooldown, marks it as *the* half-open
+    /// probe); `false` means fail fast.
+    pub fn allow(&mut self) -> bool {
+        match self.opened_at {
+            None => true,
+            Some(_) if self.probing => false,
+            Some(at) => {
+                if at.elapsed() >= self.cooldown {
+                    self.probing = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a request the server answered (any structured response,
+    /// including errors): closes the circuit and resets the count.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        self.probing = false;
+    }
+
+    /// Records a transport failure (timeout or wire error): a failed
+    /// half-open probe re-opens immediately, otherwise the consecutive
+    /// count advances toward the threshold.
+    pub fn on_failure(&mut self) {
+        if self.probing {
+            self.probing = false;
+            self.consecutive_failures = self.threshold;
+            self.opened_at = Some(Instant::now());
+            return;
+        }
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.threshold {
+            self.opened_at = Some(Instant::now());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-aware stream
+// ---------------------------------------------------------------------------
+
+/// Wraps a [`TcpStream`] so every read/write races one absolute
+/// deadline: before each syscall the remaining budget is recomputed
+/// and installed as the socket timeout, so a peer trickling one byte
+/// per timeout window cannot extend the operation past the deadline
+/// (each partial read shrinks the next window instead of resetting
+/// it).
+struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineStream<'_> {
+    fn remaining(&self) -> io::Result<Duration> {
+        let now = Instant::now();
+        if now >= self.deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "client operation deadline elapsed",
+            ));
+        }
+        Ok(self.deadline - now)
+    }
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            self.stream.set_read_timeout(Some(self.remaining()?))?;
+            match (&mut (&*self.stream)).read(buf) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // A timeout below the full remaining window (platforms
+                // may wake early) is re-checked against the deadline.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+impl Write for DeadlineStream<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        loop {
+            self.stream.set_write_timeout(Some(self.remaining()?))?;
+            match (&mut (&*self.stream)).write(buf) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&mut (&*self.stream)).flush()
+    }
+}
+
+/// Maps a deadline expiry (surfaced as a `TimedOut`/`WouldBlock` IO
+/// error) to [`NetError::Timeout`]; everything else stays a wire
+/// error.
+fn map_deadline(e: WireError) -> NetError {
+    match e {
+        WireError::Io(ref io_err)
+            if matches!(
+                io_err.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ) =>
+        {
+            NetError::Timeout
+        }
+        other => NetError::Wire(other),
+    }
+}
+
 /// A blocking client for a [`crate::server::DecodeServer`]: one
 /// connection, requests answered in order.
 #[derive(Debug)]
@@ -756,6 +969,7 @@ pub struct Client {
     stream: TcpStream,
     addr: SocketAddr,
     max_frame_bytes: usize,
+    op_deadline: Option<Duration>,
 }
 
 impl Client {
@@ -772,6 +986,7 @@ impl Client {
             stream,
             addr,
             max_frame_bytes: MAX_FRAME_BYTES,
+            op_deadline: None,
         })
     }
 
@@ -782,17 +997,48 @@ impl Client {
         self
     }
 
+    /// Bounds every [`Self::request`] (send + full reply) by one
+    /// wall-clock deadline, surfacing expiry as [`NetError::Timeout`].
+    ///
+    /// Without it, a server (or intermediary) that stalls mid-frame
+    /// after the header hangs the client forever: per-read socket
+    /// timeouts alone reset on every byte, so a trickling peer evades
+    /// them. The deadline is absolute per operation — partial progress
+    /// shrinks the remaining window instead of resetting it.
+    #[must_use]
+    pub fn op_deadline(mut self, deadline: Duration) -> Self {
+        self.op_deadline = Some(deadline);
+        self
+    }
+
     /// Sends one decode request and blocks for the response.
     ///
     /// # Errors
     ///
     /// The full [`NetError`] taxonomy; [`NetError::Busy`] is the
-    /// retryable one.
+    /// retryable one, and [`NetError::Timeout`] reports an elapsed
+    /// [`Self::op_deadline`].
     pub fn request(&mut self, request: &Request, stream: &[u8]) -> Result<NetResponse, NetError> {
-        write_frame(&mut self.stream, &encode_request(request, stream))?;
-        let payload =
-            read_frame(&mut self.stream, self.max_frame_bytes)?.ok_or(WireError::Truncated)?;
-        decode_response(&payload)
+        match self.op_deadline {
+            None => {
+                write_frame(&mut self.stream, &encode_request(request, stream))?;
+                let payload = read_frame(&mut self.stream, self.max_frame_bytes)?
+                    .ok_or(WireError::Truncated)?;
+                decode_response(&payload)
+            }
+            Some(limit) => {
+                let mut io = DeadlineStream {
+                    stream: &self.stream,
+                    deadline: Instant::now() + limit,
+                };
+                write_frame(&mut io, &encode_request(request, stream))
+                    .map_err(|e| map_deadline(WireError::from(e)))?;
+                let payload = read_frame(&mut io, self.max_frame_bytes)
+                    .map_err(map_deadline)?
+                    .ok_or(WireError::Truncated)?;
+                decode_response(&payload)
+            }
+        }
     }
 
     /// [`Self::request`], absorbing [`NetError::Busy`] responses under
@@ -826,6 +1072,67 @@ impl Client {
                     self.reconnect()?;
                 }
                 other => return other,
+            }
+        }
+    }
+
+    /// [`Self::decode_retry`] behind a [`CircuitBreaker`]: when the
+    /// breaker is open the call fails fast with
+    /// [`NetError::CircuitOpen`] without touching the network, so a
+    /// blackholed server costs one deadline per cooldown instead of
+    /// one per request.
+    ///
+    /// Breaker accounting: timeouts and wire errors are failures;
+    /// *any* server-answered outcome — success, `Busy`, or a
+    /// structured server error — proves the path works and resets the
+    /// breaker. After a transport failure the connection is re-dialled
+    /// best-effort so a late straggler reply cannot desynchronise the
+    /// next request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::decode_retry`], plus [`NetError::Timeout`] and
+    /// [`NetError::CircuitOpen`].
+    pub fn decode_retry_guarded(
+        &mut self,
+        request: &Request,
+        stream: &[u8],
+        policy: &NetRetryPolicy,
+        breaker: &mut CircuitBreaker,
+    ) -> Result<NetResponse, NetError> {
+        if !breaker.allow() {
+            return Err(NetError::CircuitOpen);
+        }
+        let mut attempt = 0u32;
+        loop {
+            match self.request(request, stream) {
+                Ok(resp) => {
+                    breaker.on_success();
+                    return Ok(resp);
+                }
+                Err(NetError::Busy) => {
+                    // The server answered: the transport works.
+                    breaker.on_success();
+                    if attempt >= policy.max_retries {
+                        return Err(NetError::RetriesExhausted {
+                            attempts: attempt + 1,
+                        });
+                    }
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                    self.reconnect()?;
+                }
+                Err(e @ (NetError::Timeout | NetError::Wire(_))) => {
+                    breaker.on_failure();
+                    // The stream may hold a straggler reply; drop it.
+                    let _ = self.reconnect();
+                    return Err(e);
+                }
+                Err(other) => {
+                    // Structured server errors still prove liveness.
+                    breaker.on_success();
+                    return Err(other);
+                }
             }
         }
     }
@@ -1108,5 +1415,210 @@ mod tests {
             a,
             "different seeds de-synchronise"
         );
+    }
+
+    /// A reader/writer delivering one byte per call and injecting a
+    /// spurious `Interrupted` every `interrupt_every` operations — the
+    /// worst honest transport the frame layer can meet.
+    struct Trickle<T> {
+        inner: T,
+        interrupt_every: usize,
+        ops: usize,
+    }
+
+    impl<T> Trickle<T> {
+        fn new(inner: T, interrupt_every: usize) -> Self {
+            Trickle {
+                inner,
+                interrupt_every,
+                ops: 0,
+            }
+        }
+
+        fn interrupts(&mut self) -> bool {
+            self.ops += 1;
+            self.interrupt_every > 0 && self.ops.is_multiple_of(self.interrupt_every)
+        }
+    }
+
+    impl<R: Read> Read for Trickle<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.interrupts() {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "spurious"));
+            }
+            let take = buf.len().min(1);
+            self.inner.read(&mut buf[..take])
+        }
+    }
+
+    impl<W: Write> Write for Trickle<W> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.interrupts() {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "spurious"));
+            }
+            let take = buf.len().min(1);
+            self.inner.write(&buf[..take])
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    #[test]
+    fn frames_survive_one_byte_reads_writes_and_interrupts() {
+        let payload: Vec<u8> = (0..1000u32).map(|i| (i % 253) as u8).collect();
+        // interrupt_every = 1 would never progress; 2 interrupts every
+        // other call including the very first read (the first-byte
+        // path that used to surface Interrupted as an Io error).
+        for interrupt_every in [0usize, 2, 3, 7] {
+            let mut writer = Trickle::new(Vec::new(), interrupt_every);
+            write_frame(&mut writer, &payload).unwrap();
+            let wire = writer.inner;
+            // Interruption starts fresh on the read side so the first
+            // header byte also sees an Interrupted when every == 2...
+            // ops counter starts at 0, first call ops=1, interrupts at
+            // ops % every == 0, i.e. the second call. Shift by one op
+            // to hit the first-byte read too.
+            let mut reader = Trickle::new(&wire[..], interrupt_every);
+            if interrupt_every > 0 {
+                reader.ops = interrupt_every - 1; // next call interrupts
+            }
+            let back = read_frame(&mut reader, MAX_FRAME_BYTES).unwrap();
+            assert_eq!(
+                back.as_deref(),
+                Some(&payload[..]),
+                "interrupt_every={interrupt_every}"
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_breaker_trips_probes_and_recovers() {
+        let mut b = CircuitBreaker::new(3, Duration::from_millis(30));
+        assert_eq!(b.state(), CircuitState::Closed);
+        // Failures below the threshold keep the circuit closed; an
+        // intervening success resets the count entirely.
+        assert!(b.allow());
+        b.on_failure();
+        assert!(b.allow());
+        b.on_failure();
+        b.on_success();
+        assert!(b.allow());
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), CircuitState::Closed);
+        b.on_failure(); // third consecutive: trip
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.allow(), "open circuit fails fast");
+        assert!(!b.allow());
+        // Cooldown elapses: exactly one half-open probe is granted.
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        assert!(b.allow(), "one probe after cooldown");
+        assert!(!b.allow(), "second concurrent probe denied");
+        // Failed probe re-opens for a full cooldown.
+        b.on_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.allow());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.allow());
+        b.on_success();
+        assert_eq!(b.state(), CircuitState::Closed);
+        assert!(b.allow(), "closed again after a successful probe");
+    }
+
+    /// Regression (PR 9): a server stalling mid-frame after the header
+    /// used to hang `Client::request` forever — per-read timeouts reset
+    /// on every byte. With an operation deadline the client returns
+    /// [`NetError::Timeout`] within the budget.
+    #[test]
+    fn stalled_server_times_out_instead_of_hanging() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let stall = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Read the request, then answer with a frame header that
+            // promises a payload and trickle exactly one byte of it.
+            let mut sink = [0u8; 4096];
+            while let Ok(n) = s.read(&mut sink) {
+                if n == 0 || n < sink.len() {
+                    break;
+                }
+            }
+            let mut head = [0u8; 8];
+            head[..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+            head[4..].copy_from_slice(&1024u32.to_le_bytes());
+            s.write_all(&head).unwrap();
+            s.write_all(&[0u8]).unwrap();
+            // ...then stall until the test ends.
+            let _ = stop_rx.recv_timeout(Duration::from_secs(30));
+        });
+        let mut client = Client::connect(addr)
+            .unwrap()
+            .op_deadline(Duration::from_millis(200));
+        let started = Instant::now();
+        let err = client
+            .request(&Request::strict(), b"unused")
+            .expect_err("stalled server must not produce a response");
+        let elapsed = started.elapsed();
+        assert!(matches!(err, NetError::Timeout), "{err:?}");
+        assert!(
+            elapsed >= Duration::from_millis(150) && elapsed < Duration::from_secs(5),
+            "deadline respected: {elapsed:?}"
+        );
+        stop_tx.send(()).unwrap();
+        stall.join().unwrap();
+    }
+
+    /// A breaker-guarded client against a blackhole: the first
+    /// `threshold` calls each pay one deadline, every later call fails
+    /// fast with `CircuitOpen` until the cooldown.
+    #[test]
+    fn guarded_retry_fails_fast_once_the_breaker_trips() {
+        use std::net::TcpListener;
+        // A listener that accepts and never answers.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let hole = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            listener.set_nonblocking(true).unwrap();
+            loop {
+                if let Ok((s, _)) = listener.accept() {
+                    held.push(s);
+                }
+                if stop_rx.try_recv().is_ok() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let mut client = Client::connect(addr)
+            .unwrap()
+            .op_deadline(Duration::from_millis(100));
+        let mut breaker = CircuitBreaker::new(2, Duration::from_secs(60));
+        let policy = NetRetryPolicy::default();
+        for i in 0..2 {
+            let err = client
+                .decode_retry_guarded(&Request::strict(), b"x", &policy, &mut breaker)
+                .expect_err("blackhole cannot answer");
+            assert!(matches!(err, NetError::Timeout), "call {i}: {err:?}");
+        }
+        assert_eq!(breaker.state(), CircuitState::Open);
+        let started = Instant::now();
+        let err = client
+            .decode_retry_guarded(&Request::strict(), b"x", &policy, &mut breaker)
+            .expect_err("open breaker fails fast");
+        assert!(matches!(err, NetError::CircuitOpen), "{err:?}");
+        assert!(
+            started.elapsed() < Duration::from_millis(50),
+            "fail-fast must not touch the network: {:?}",
+            started.elapsed()
+        );
+        stop_tx.send(()).unwrap();
+        hole.join().unwrap();
     }
 }

@@ -42,7 +42,7 @@ use crate::net::{
 use crate::service::{DecodeService, ServiceError};
 use osss_sim::probe::{Counter, Gauge, Histogram, MetricsRegistry};
 use osss_sim::SimTime;
-use std::io::{self, ErrorKind};
+use std::io::{self, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -65,6 +65,34 @@ pub struct ServerConfig {
     /// Idle-poll granularity: how often a handler blocked on a quiet
     /// connection rechecks the shutdown flag.
     pub poll_interval: Duration,
+    /// Whole-frame read deadline. Per-read timeouts alone do not stop
+    /// a slow-loris peer — one byte per [`Self::poll_interval`] resets
+    /// them forever — so once a frame has begun, the handler bounds
+    /// the *entire* frame by this budget and evicts the connection
+    /// when it elapses ([`ServerStats::frame_timeouts`]). `None`
+    /// restores the per-read-only behaviour.
+    pub frame_deadline: Option<Duration>,
+    /// Closes a connection that stays idle *between* frames this long
+    /// ([`ServerStats::idle_reaped`]); `None` lets idle connections
+    /// hold their handler indefinitely.
+    pub idle_timeout: Option<Duration>,
+    /// Upper bound on connections open server-side (queued for or
+    /// inside a handler); the acceptor answers excess connections with
+    /// a busy frame ([`ServerStats::conn_capped`]).
+    pub max_connections: usize,
+    /// Admission budget on the request bytes concurrently admitted to
+    /// the decode path; a request that would exceed it is answered
+    /// busy ([`ServerStats::admission_rejected`]) without touching the
+    /// service queue.
+    pub max_inflight_bytes: usize,
+    /// Transport write timeout for response frames (handlers, the
+    /// acceptor's busy/refused answers).
+    pub write_timeout: Duration,
+    /// Per-read timeout while draining a rejected connection's bytes
+    /// before close (see `reject_busy`).
+    pub drain_read_timeout: Duration,
+    /// Total budget for that drain.
+    pub drain_deadline: Duration,
     /// Observability sink. When set, the server exports `server.*`
     /// counters, the active-connection gauge and the request-latency
     /// histogram.
@@ -79,6 +107,13 @@ impl Default for ServerConfig {
             submit_timeout: Duration::from_millis(250),
             max_frame_bytes: MAX_FRAME_BYTES,
             poll_interval: Duration::from_millis(50),
+            frame_deadline: Some(Duration::from_secs(10)),
+            idle_timeout: Some(Duration::from_secs(60)),
+            max_connections: 256,
+            max_inflight_bytes: 256 << 20,
+            write_timeout: Duration::from_secs(1),
+            drain_read_timeout: Duration::from_secs(1),
+            drain_deadline: Duration::from_secs(2),
             metrics: None,
         }
     }
@@ -116,6 +151,18 @@ pub struct ServerStats {
     /// Requests that failed inside the service (caught worker panics,
     /// lost tickets).
     pub internal: u64,
+    /// Connections answered busy at the acceptor because
+    /// [`ServerConfig::max_connections`] was reached.
+    pub conn_capped: u64,
+    /// Frames evicted by the whole-frame read deadline (slow-loris
+    /// peers).
+    pub frame_timeouts: u64,
+    /// Connections closed by the idle reaper.
+    pub idle_reaped: u64,
+    /// Requests answered busy by the in-flight byte budget (also
+    /// counted in [`Self::busy`], so [`Self::reconciles`] is
+    /// unaffected).
+    pub admission_rejected: u64,
 }
 
 impl ServerStats {
@@ -149,6 +196,10 @@ struct Tallies {
     failed: AtomicU64,
     refused: AtomicU64,
     internal: AtomicU64,
+    conn_capped: AtomicU64,
+    frame_timeouts: AtomicU64,
+    idle_reaped: AtomicU64,
+    admission_rejected: AtomicU64,
 }
 
 struct Meters {
@@ -165,7 +216,13 @@ struct Meters {
     failed: Counter,
     refused: Counter,
     internal: Counter,
+    conn_capped: Counter,
+    frame_timeouts: Counter,
+    idle_reaped: Counter,
+    admission_rejected: Counter,
     active: Gauge,
+    open_conns: Gauge,
+    inflight_bytes: Gauge,
     latency: Histogram,
 }
 
@@ -185,7 +242,13 @@ impl Meters {
             failed: reg.counter("server.failed"),
             refused: reg.counter("server.refused"),
             internal: reg.counter("server.internal"),
+            conn_capped: reg.counter("server.conn_capped"),
+            frame_timeouts: reg.counter("server.frame_timeouts"),
+            idle_reaped: reg.counter("server.idle_reaped"),
+            admission_rejected: reg.counter("server.admission_rejected"),
             active: reg.gauge("server.active"),
+            open_conns: reg.gauge("server.open_conns"),
+            inflight_bytes: reg.gauge("server.inflight_bytes"),
             latency: reg.histogram("server.latency"),
         }
     }
@@ -205,6 +268,8 @@ struct Shared {
     meters: Option<Meters>,
     shutdown: AtomicBool,
     active: AtomicU64,
+    open_conns: AtomicU64,
+    inflight_bytes: AtomicU64,
     config: ServerConfig,
 }
 
@@ -224,6 +289,41 @@ impl Shared {
         };
         if let Some(m) = &self.meters {
             m.active.set(now as i64);
+        }
+    }
+
+    fn open_add(&self, delta: i64) {
+        let now = if delta >= 0 {
+            self.open_conns.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+        } else {
+            self.open_conns
+                .fetch_sub((-delta) as u64, Ordering::Relaxed)
+                - (-delta) as u64
+        };
+        if let Some(m) = &self.meters {
+            m.open_conns.set(now as i64);
+        }
+    }
+
+    /// Reserves `bytes` against the in-flight admission budget; `false`
+    /// means the request must be shed.
+    fn try_admit(&self, bytes: u64) -> bool {
+        let max = self.config.max_inflight_bytes as u64;
+        let prev = self.inflight_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if prev.saturating_add(bytes) > max {
+            self.inflight_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            return false;
+        }
+        if let Some(m) = &self.meters {
+            m.inflight_bytes.set((prev + bytes) as i64);
+        }
+        true
+    }
+
+    fn release(&self, bytes: u64) {
+        let now = self.inflight_bytes.fetch_sub(bytes, Ordering::Relaxed) - bytes;
+        if let Some(m) = &self.meters {
+            m.inflight_bytes.set(now as i64);
         }
     }
 }
@@ -258,6 +358,8 @@ impl DecodeServer {
             meters,
             shutdown: AtomicBool::new(false),
             active: AtomicU64::new(0),
+            open_conns: AtomicU64::new(0),
+            inflight_bytes: AtomicU64::new(0),
             config: config.clone(),
         });
 
@@ -314,6 +416,10 @@ impl DecodeServer {
             failed: get(&t.failed),
             refused: get(&t.refused),
             internal: get(&t.internal),
+            conn_capped: get(&t.conn_capped),
+            frame_timeouts: get(&t.frame_timeouts),
+            idle_reaped: get(&t.idle_reaped),
+            admission_rejected: get(&t.admission_rejected),
         }
     }
 
@@ -373,17 +479,30 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &mpsc::SyncSender<Tc
         if shared.shutdown.load(Ordering::SeqCst) {
             // The shutdown wake-up connection (or a late client):
             // refuse and stop.
-            let _ = respond_and_close(stream, &encode_service_error(&ServiceError::ShuttingDown));
+            let _ = respond_and_close(
+                stream,
+                &encode_service_error(&ServiceError::ShuttingDown),
+                shared.config.write_timeout,
+            );
             return;
         }
+        if shared.open_conns.load(Ordering::Relaxed) >= shared.config.max_connections as u64 {
+            // Connection cap: shed at the door with an explicit busy
+            // frame instead of letting connections pile up unserved.
+            shared.bump(&shared.tallies.conn_capped, |m| &m.conn_capped);
+            reject_busy(stream, &shared.config);
+            continue;
+        }
+        shared.open_add(1);
         match tx.try_send(stream) {
             Ok(()) => shared.bump(&shared.tallies.accepted, |m| &m.accepted),
             Err(mpsc::TrySendError::Full(stream)) => {
                 // Handler pool saturated: answer busy and close so the
                 // client retries with backoff instead of queueing
                 // invisibly.
+                shared.open_add(-1);
                 shared.bump(&shared.tallies.conn_rejected, |m| &m.conn_rejected);
-                reject_busy(stream);
+                reject_busy(stream, &shared.config);
             }
             Err(mpsc::TrySendError::Disconnected(_)) => return,
         }
@@ -392,8 +511,12 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &mpsc::SyncSender<Tc
 
 /// Writes one frame and closes the write side so the peer sees clean
 /// EOF after it.
-fn respond_and_close(mut stream: TcpStream, payload: &[u8]) -> io::Result<()> {
-    stream.set_write_timeout(Some(Duration::from_secs(1)))?;
+fn respond_and_close(
+    mut stream: TcpStream,
+    payload: &[u8],
+    write_timeout: Duration,
+) -> io::Result<()> {
+    stream.set_write_timeout(Some(write_timeout))?;
     write_frame(&mut stream, payload)?;
     stream.shutdown(std::net::Shutdown::Write)
 }
@@ -404,24 +527,22 @@ fn respond_and_close(mut stream: TcpStream, payload: &[u8]) -> io::Result<()> {
 /// client side. So the frame goes out, the write side closes (FIN),
 /// and a short detached thread drains the client's bytes until it
 /// hangs up — never blocking the acceptor, never resetting the peer.
-fn reject_busy(mut stream: TcpStream) {
+fn reject_busy(mut stream: TcpStream, config: &ServerConfig) {
+    let write_timeout = config.write_timeout;
+    let drain_read_timeout = config.drain_read_timeout;
+    let drain_deadline = config.drain_deadline;
     let _ = std::thread::Builder::new()
         .name("decode-net-reject".into())
         .spawn(move || {
-            use std::io::Read as _;
-            if stream
-                .set_write_timeout(Some(Duration::from_secs(1)))
-                .is_err()
-                || stream
-                    .set_read_timeout(Some(Duration::from_secs(1)))
-                    .is_err()
+            if stream.set_write_timeout(Some(write_timeout)).is_err()
+                || stream.set_read_timeout(Some(drain_read_timeout)).is_err()
                 || write_frame(&mut stream, &encode_busy()).is_err()
                 || stream.shutdown(std::net::Shutdown::Write).is_err()
             {
                 return;
             }
             let mut sink = [0u8; 4096];
-            let deadline = Instant::now() + Duration::from_secs(2);
+            let deadline = Instant::now() + drain_deadline;
             loop {
                 match stream.read(&mut sink) {
                     Ok(0) | Err(_) => return, // EOF, timeout or reset
@@ -446,6 +567,7 @@ fn handler_loop(shared: &Shared, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
         shared.set_active(1);
         serve_connection(shared, stream);
         shared.set_active(-1);
+        shared.open_add(-1);
         if shared.shutdown.load(Ordering::SeqCst) {
             // Keep draining queued connections so no accepted client
             // hangs; recv() errors once the queue is empty and the
@@ -455,16 +577,62 @@ fn handler_loop(shared: &Shared, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
     }
 }
 
-/// Serves one connection until EOF, an unrecoverable frame error, or
-/// shutdown.
+/// Reads one frame under an absolute deadline while staying
+/// responsive to shutdown: before each read the remaining budget
+/// (capped at the poll interval) becomes the socket timeout, so a
+/// peer trickling one byte per window cannot extend the frame past
+/// the deadline — each partial read shrinks what is left instead of
+/// resetting it. Deadline expiry surfaces as `ErrorKind::TimedOut`
+/// (socket-level `WouldBlock`/`TimedOut` wake-ups are absorbed), so
+/// the caller can attribute it unambiguously.
+struct FrameReader<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+    poll: Duration,
+    shutdown: &'a AtomicBool,
+}
+
+impl Read for FrameReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Err(io::Error::new(
+                    ErrorKind::ConnectionAborted,
+                    "server shutting down",
+                ));
+            }
+            let now = Instant::now();
+            if now >= self.deadline {
+                return Err(io::Error::new(
+                    ErrorKind::TimedOut,
+                    "whole-frame read deadline exceeded",
+                ));
+            }
+            let window = (self.deadline - now).min(self.poll);
+            self.stream.set_read_timeout(Some(window))?;
+            match (&mut (&*self.stream)).read(buf) {
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    continue
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Serves one connection until EOF, an unrecoverable frame error,
+/// idle expiry, or shutdown.
 fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     if stream
         .set_read_timeout(Some(shared.config.poll_interval))
         .is_err()
     {
         return;
     }
+    let mut last_activity = Instant::now();
     loop {
         // Idle poll: wait for the first byte of a frame with a short
         // timeout so the shutdown flag is observed on quiet
@@ -478,37 +646,91 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                     let _ = respond_and_close(
                         stream,
                         &encode_service_error(&ServiceError::ShuttingDown),
+                        shared.config.write_timeout,
                     );
                     return;
+                }
+                if let Some(idle) = shared.config.idle_timeout {
+                    if last_activity.elapsed() >= idle {
+                        // Reap: free the handler for live traffic. The
+                        // peer sees clean EOF between frames.
+                        shared.bump(&shared.tallies.idle_reaped, |m| &m.idle_reaped);
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        return;
+                    }
                 }
                 continue;
             }
             Err(_) => return,
         }
-        // A frame has begun; the per-read poll timeout still applies,
-        // so a peer stalling mid-frame aborts the read rather than
-        // pinning the handler.
-        match read_frame(&mut stream, shared.config.max_frame_bytes) {
+        // A frame has begun. With a frame deadline the whole frame
+        // races one budget (slow-loris eviction); without one, only
+        // the per-read poll timeout bounds a mid-frame stall — and a
+        // peer trickling a byte per window evades it indefinitely.
+        let read_result = match shared.config.frame_deadline {
+            None => read_frame(&mut stream, shared.config.max_frame_bytes),
+            Some(limit) => {
+                let mut reader = FrameReader {
+                    stream: &stream,
+                    deadline: Instant::now() + limit,
+                    poll: shared.config.poll_interval,
+                    shutdown: &shared.shutdown,
+                };
+                let res = read_frame(&mut reader, shared.config.max_frame_bytes);
+                // Restore the idle-poll timeout for the next peek.
+                if stream
+                    .set_read_timeout(Some(shared.config.poll_interval))
+                    .is_err()
+                {
+                    return;
+                }
+                res
+            }
+        };
+        match read_result {
             Ok(None) => return,
             Ok(Some(payload)) => {
                 shared.bump(&shared.tallies.frames_in, |m| &m.frames_in);
                 if !handle_frame(shared, &mut stream, &payload) {
                     return;
                 }
+                last_activity = Instant::now();
+            }
+            Err(WireError::Io(e))
+                if shared.config.frame_deadline.is_some() && e.kind() == ErrorKind::TimedOut =>
+            {
+                // The whole-frame deadline elapsed: evict the peer.
+                // (Framing is lost mid-frame, so the connection closes;
+                // the error frame is best-effort.)
+                shared.bump(&shared.tallies.frame_timeouts, |m| &m.frame_timeouts);
+                let _ = respond_and_close(
+                    stream,
+                    &encode_protocol_error("whole-frame read deadline exceeded"),
+                    shared.config.write_timeout,
+                );
+                return;
             }
             Err(WireError::Crc { .. }) => {
                 // The frame was fully read, so the stream is still in
                 // sync — but its content is untrustworthy. Report and
                 // close.
                 shared.bump(&shared.tallies.crc_rejects, |m| &m.crc_rejects);
-                let _ = respond_and_close(stream, &encode_protocol_error("frame crc mismatch"));
+                let _ = respond_and_close(
+                    stream,
+                    &encode_protocol_error("frame crc mismatch"),
+                    shared.config.write_timeout,
+                );
                 return;
             }
             Err(e @ (WireError::BadMagic(_) | WireError::Oversized { .. })) => {
                 // Framing is lost; no way to find the next frame
                 // boundary. Report and close.
                 shared.bump(&shared.tallies.frame_rejects, |m| &m.frame_rejects);
-                let _ = respond_and_close(stream, &encode_protocol_error(&e.to_string()));
+                let _ = respond_and_close(
+                    stream,
+                    &encode_protocol_error(&e.to_string()),
+                    shared.config.write_timeout,
+                );
                 return;
             }
             Err(_) => {
@@ -533,26 +755,42 @@ fn handle_frame(shared: &Shared, stream: &mut TcpStream, payload: &[u8]) -> bool
             encode_protocol_error(&e.to_string())
         }
         Ok(wire) => {
-            let outcome = shared
-                .service
-                .submit_wait(wire.stream, wire.request, shared.config.submit_timeout)
-                .and_then(crate::service::Ticket::wait);
-            match outcome {
-                Ok(resp) => {
-                    shared.bump(&shared.tallies.ok, |m| &m.ok);
-                    let report = resp.report.as_ref().map(WireReport::summarise);
-                    encode_ok(&resp.image, report.as_ref(), resp.served_from)
-                }
-                Err(err) => {
-                    let (tally, meter): (_, fn(&Meters) -> &Counter) = match &err {
-                        ServiceError::QueueFull => (&shared.tallies.busy, |m| &m.busy),
-                        ServiceError::DeadlineExceeded => (&shared.tallies.expired, |m| &m.expired),
-                        ServiceError::Decode(_) => (&shared.tallies.failed, |m| &m.failed),
-                        ServiceError::ShuttingDown => (&shared.tallies.refused, |m| &m.refused),
-                        _ => (&shared.tallies.internal, |m| &m.internal),
-                    };
-                    shared.bump(tally, meter);
-                    encode_service_error(&err)
+            let bytes = wire.stream.len() as u64;
+            if !shared.try_admit(bytes) {
+                // Admission budget exhausted: shed with the same
+                // retryable-busy answer as a full queue (clients
+                // already back off on it), and tally the shed
+                // separately for observability.
+                shared.bump(&shared.tallies.busy, |m| &m.busy);
+                shared.bump(&shared.tallies.admission_rejected, |m| {
+                    &m.admission_rejected
+                });
+                encode_busy()
+            } else {
+                let outcome = shared
+                    .service
+                    .submit_wait(wire.stream, wire.request, shared.config.submit_timeout)
+                    .and_then(crate::service::Ticket::wait);
+                shared.release(bytes);
+                match outcome {
+                    Ok(resp) => {
+                        shared.bump(&shared.tallies.ok, |m| &m.ok);
+                        let report = resp.report.as_ref().map(WireReport::summarise);
+                        encode_ok(&resp.image, report.as_ref(), resp.served_from)
+                    }
+                    Err(err) => {
+                        let (tally, meter): (_, fn(&Meters) -> &Counter) = match &err {
+                            ServiceError::QueueFull => (&shared.tallies.busy, |m| &m.busy),
+                            ServiceError::DeadlineExceeded => {
+                                (&shared.tallies.expired, |m| &m.expired)
+                            }
+                            ServiceError::Decode(_) => (&shared.tallies.failed, |m| &m.failed),
+                            ServiceError::ShuttingDown => (&shared.tallies.refused, |m| &m.refused),
+                            _ => (&shared.tallies.internal, |m| &m.internal),
+                        };
+                        shared.bump(tally, meter);
+                        encode_service_error(&err)
+                    }
                 }
             }
         }
@@ -860,6 +1098,245 @@ mod tests {
         let server2 = start(small_service(1, 4), ServerConfig::default());
         let _idle = std::net::TcpStream::connect(server2.local_addr()).unwrap();
         drop(server2);
+    }
+
+    /// Drives a slow-loris peer: a frame header promising a payload,
+    /// then one payload byte per `tick` until `stop` fires. Returns
+    /// the writer thread.
+    fn slow_loris(
+        addr: std::net::SocketAddr,
+        tick: Duration,
+        stop: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            use std::io::Write as _;
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            let mut head = [0u8; 8];
+            head[..4].copy_from_slice(&crate::net::FRAME_MAGIC.to_le_bytes());
+            head[4..].copy_from_slice(&1_000_000u32.to_le_bytes());
+            if s.write_all(&head).is_err() {
+                return;
+            }
+            while !stop.load(Ordering::SeqCst) {
+                if s.write_all(&[0u8]).is_err() {
+                    return; // evicted: the server closed on us
+                }
+                std::thread::sleep(tick);
+            }
+        })
+    }
+
+    /// Regression (PR 9): without a whole-frame deadline, a client
+    /// trickling one byte per poll interval pins a handler forever;
+    /// with one, the handler evicts it and frees itself.
+    #[test]
+    fn slow_loris_pins_without_frame_deadline_and_is_evicted_with_one() {
+        // Pre-fix behaviour: frame_deadline = None. The loris out-runs
+        // the 20ms per-read timeout, so the handler stays pinned.
+        let server = start(
+            small_service(1, 4),
+            ServerConfig {
+                handler_threads: 1,
+                poll_interval: Duration::from_millis(20),
+                frame_deadline: None,
+                idle_timeout: None,
+                ..ServerConfig::default()
+            },
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let loris = slow_loris(
+            server.local_addr(),
+            Duration::from_millis(5),
+            Arc::clone(&stop),
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.active_connections() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Give the per-read timeout many chances to (wrongly) fire.
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(
+            server.active_connections(),
+            1,
+            "pre-fix: the loris still pins the only handler"
+        );
+        stop.store(true, Ordering::SeqCst);
+        loris.join().unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.frame_timeouts, 0, "{stats:?}");
+
+        // Post-fix: a 150ms whole-frame deadline evicts the same peer
+        // even though it never misses a per-read window.
+        let server = start(
+            small_service(1, 4),
+            ServerConfig {
+                handler_threads: 1,
+                poll_interval: Duration::from_millis(20),
+                frame_deadline: Some(Duration::from_millis(150)),
+                ..ServerConfig::default()
+            },
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let loris = slow_loris(
+            server.local_addr(),
+            Duration::from_millis(5),
+            Arc::clone(&stop),
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().frame_timeouts < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            server.stats().frame_timeouts,
+            1,
+            "post-fix: the frame deadline evicted the loris"
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.active_connections() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.active_connections(), 0, "handler freed");
+        // The freed handler serves a clean client immediately.
+        let (img, bytes) = lossless_stream(19);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            client.request(&Request::strict(), &bytes).unwrap().image,
+            img
+        );
+        stop.store(true, Ordering::SeqCst);
+        loris.join().unwrap();
+        let stats = server.shutdown();
+        assert!(stats.reconciles(), "{stats:?}");
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_but_active_ones_are_not() {
+        let registry = MetricsRegistry::new();
+        let server = start(
+            small_service(1, 4),
+            ServerConfig {
+                handler_threads: 2,
+                poll_interval: Duration::from_millis(10),
+                idle_timeout: Some(Duration::from_millis(120)),
+                metrics: Some(registry.clone()),
+                ..ServerConfig::default()
+            },
+        );
+        let (img, bytes) = lossless_stream(20);
+        // An active client keeps making requests across the idle
+        // window and must never be reaped...
+        let mut active = Client::connect(server.local_addr()).unwrap();
+        // ...while a silent connection gets closed.
+        let mut idle = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        for _ in 0..4 {
+            assert_eq!(
+                active.request(&Request::strict(), &bytes).unwrap().image,
+                img
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let mut buf = [0u8; 1];
+        assert_eq!(idle.read(&mut buf).unwrap(), 0, "idle peer sees clean EOF");
+        let stats = server.shutdown();
+        assert_eq!(stats.idle_reaped, 1, "{stats:?}");
+        assert_eq!(stats.ok, 4);
+        assert!(stats.reconciles(), "{stats:?}");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters.get("server.idle_reaped").copied(),
+            Some(stats.idle_reaped)
+        );
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_a_busy_frame() {
+        let registry = MetricsRegistry::new();
+        let server = start(
+            small_service(1, 4),
+            ServerConfig {
+                handler_threads: 1,
+                backlog: 1,
+                max_connections: 1,
+                metrics: Some(registry.clone()),
+                ..ServerConfig::default()
+            },
+        );
+        let addr = server.local_addr();
+        // Occupy the single permitted connection...
+        let _pin = std::net::TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.active_connections() < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.active_connections(), 1);
+        // ...so the next client is shed at the door with a busy frame.
+        let (_, bytes) = lossless_stream(21);
+        let mut victim = Client::connect(addr).unwrap();
+        let err = victim.request(&Request::strict(), &bytes).unwrap_err();
+        assert!(matches!(err, NetError::Busy), "{err:?}");
+        let stats = server.shutdown();
+        assert!(stats.conn_capped >= 1, "{stats:?}");
+        assert!(stats.reconciles(), "{stats:?}");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters.get("server.conn_capped").copied(),
+            Some(stats.conn_capped)
+        );
+        assert_eq!(snap.gauges.get("server.open_conns").copied(), Some(0));
+    }
+
+    #[test]
+    fn admission_budget_sheds_oversized_inflight_as_busy() {
+        let registry = MetricsRegistry::new();
+        let (img, bytes) = lossless_stream(22);
+        let server = start(
+            small_service(1, 4),
+            ServerConfig {
+                // Budget below one request: everything is shed.
+                max_inflight_bytes: bytes.len() - 1,
+                metrics: Some(registry.clone()),
+                ..ServerConfig::default()
+            },
+        );
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let err = client.request(&Request::strict(), &bytes).unwrap_err();
+        assert!(matches!(err, NetError::Busy), "{err:?}");
+        let stats = server.shutdown();
+        assert_eq!(stats.admission_rejected, 1, "{stats:?}");
+        assert_eq!(stats.busy, 1, "shed requests are busy answers");
+        assert!(stats.reconciles(), "{stats:?}");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters.get("server.admission_rejected").copied(),
+            Some(1)
+        );
+        // Nothing was admitted, so nothing is in flight.
+        assert!(
+            matches!(
+                snap.gauges.get("server.inflight_bytes").copied(),
+                None | Some(0)
+            ),
+            "{snap:?}"
+        );
+
+        // With the budget exactly at the request size, it decodes.
+        let server = start(
+            small_service(1, 4),
+            ServerConfig {
+                max_inflight_bytes: bytes.len(),
+                ..ServerConfig::default()
+            },
+        );
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(
+            client.request(&Request::strict(), &bytes).unwrap().image,
+            img
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.admission_rejected, 0, "{stats:?}");
+        assert!(stats.reconciles(), "{stats:?}");
     }
 
     #[test]

@@ -530,6 +530,8 @@ struct Tallies {
     image_misses: AtomicU64,
     image_evictions: AtomicU64,
     max_queue_depth: AtomicU64,
+    inflight_bytes: AtomicU64,
+    max_inflight_bytes: AtomicU64,
 }
 
 /// Point-in-time service accounting, from [`DecodeService::stats`].
@@ -561,6 +563,10 @@ pub struct ServiceStats {
     pub image_evictions: u64,
     /// High-water mark of the submission queue.
     pub max_queue_depth: u64,
+    /// High-water mark of request bytes concurrently in flight
+    /// (accepted into the queue or being decoded) — the quantity the
+    /// server's admission budget bounds upstream.
+    pub max_inflight_bytes: u64,
 }
 
 impl ServiceStats {
@@ -574,6 +580,7 @@ impl ServiceStats {
 
 struct Meters {
     queue_depth: Gauge,
+    inflight_bytes: Gauge,
     queue_wait: Histogram,
     service_time: Histogram,
     submitted: Counter,
@@ -594,6 +601,7 @@ impl Meters {
     fn new(reg: &MetricsRegistry) -> Self {
         Meters {
             queue_depth: reg.gauge("service.queue.depth"),
+            inflight_bytes: reg.gauge("service.inflight_bytes"),
             queue_wait: reg.histogram("service.queue_wait"),
             service_time: reg.histogram("service.service_time"),
             submitted: reg.counter("service.submitted"),
@@ -645,6 +653,31 @@ impl Shared {
         self.tallies.max_queue_depth.fetch_max(d, Ordering::Relaxed);
         if let Some(m) = &self.meters {
             m.queue_depth.set(depth as i64);
+        }
+    }
+
+    fn add_inflight(&self, bytes: u64) {
+        let now = self
+            .tallies
+            .inflight_bytes
+            .fetch_add(bytes, Ordering::Relaxed)
+            + bytes;
+        self.tallies
+            .max_inflight_bytes
+            .fetch_max(now, Ordering::Relaxed);
+        if let Some(m) = &self.meters {
+            m.inflight_bytes.set(now as i64);
+        }
+    }
+
+    fn sub_inflight(&self, bytes: u64) {
+        let now = self
+            .tallies
+            .inflight_bytes
+            .fetch_sub(bytes, Ordering::Relaxed)
+            - bytes;
+        if let Some(m) = &self.meters {
+            m.inflight_bytes.set(now as i64);
         }
     }
 }
@@ -804,11 +837,13 @@ impl DecodeService {
                     .0;
             }
         }
+        let bytes = job.stream.len() as u64;
         state.queue.push_back(job);
         let depth = state.queue.len();
         drop(state);
         shared.bump(&shared.tallies.submitted, |m| &m.submitted);
         shared.set_depth(depth);
+        shared.add_inflight(bytes);
         shared.work.notify_one();
         Ok(())
     }
@@ -831,6 +866,7 @@ impl DecodeService {
             image_misses: get(&t.image_misses),
             image_evictions: get(&t.image_evictions),
             max_queue_depth: get(&t.max_queue_depth),
+            max_inflight_bytes: get(&t.max_inflight_bytes),
         }
     }
 
@@ -946,6 +982,7 @@ fn handle(shared: &Shared, job: Job, scratch: &mut DecodeScratch) {
     // The requester may have dropped its ticket; that is its problem,
     // the accounting above already recorded the outcome.
     let _ = job.reply.send(reply);
+    shared.sub_inflight(job.stream.len() as u64);
 }
 
 type Served = (Arc<Image>, Option<DecodeReport>, ServedFrom);
@@ -1542,6 +1579,14 @@ mod tests {
             .map(|h| h.count())
             .unwrap_or_default();
         assert_eq!(wait_samples, stats.submitted);
+        // In-flight byte accounting: the high-water mark saw at least
+        // one whole request, and everything drained by shutdown.
+        assert!(
+            stats.max_inflight_bytes >= bytes.len() as u64,
+            "{stats:?} vs {} request bytes",
+            bytes.len()
+        );
+        assert_eq!(snap.gauges.get("service.inflight_bytes").copied(), Some(0));
     }
 
     #[test]

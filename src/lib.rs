@@ -45,9 +45,13 @@ pub use osss_core as osss;
 pub use osss_sim as sim;
 pub use osss_vta as vta;
 
+pub use jpeg2000::chaos::{ChaosConfig, ChaosProxy, ChaosProxyStats, ChaosStats};
 pub use jpeg2000::codec::{decode_tolerant, DecodeReport, DecodeStage, TileFailure};
 pub use jpeg2000::error::{CodecError, ErrorSite};
-pub use jpeg2000::net::{Client, NetError, NetResponse, NetRetryPolicy, WireError, WireReport};
+pub use jpeg2000::net::{
+    CircuitBreaker, CircuitState, Client, NetError, NetResponse, NetRetryPolicy, WireError,
+    WireReport,
+};
 pub use jpeg2000::parallel::{
     decode_parallel, decode_parallel_observed, decode_tolerant_parallel, ParallelDecoder,
     ParallelStats,
