@@ -120,9 +120,9 @@ fn with_server<F: FnOnce(SocketAddr) -> RunResult>(f: F) -> RunResult {
         .shutdown();
     assert!(svc_stats.reconciles(), "{svc_stats:?}");
     assert_eq!(
-        svc_stats.submitted,
+        svc_stats.submitted + svc_stats.coalesced,
         server_stats.ok + server_stats.expired + server_stats.failed + server_stats.internal,
-        "one service submission per admitted request"
+        "one service submission or coalesce per admitted request"
     );
     result
 }

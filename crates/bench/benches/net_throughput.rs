@@ -146,9 +146,9 @@ fn main() {
     let svc_stats = Arc::try_unwrap(svc).ok().expect("sole owner").shutdown();
     assert!(svc_stats.reconciles(), "service accounting must reconcile");
     assert_eq!(
-        svc_stats.submitted,
+        svc_stats.submitted + svc_stats.coalesced,
         server_stats.ok + server_stats.expired + server_stats.failed + server_stats.internal,
-        "one service submission per admitted request"
+        "one service submission or coalesce per admitted request"
     );
     println!(
         "networked:  {networked:.1} req/s  (busy retries {}, frames {}/{})",

@@ -9,6 +9,13 @@
 //! * **image-cached** — both levels on: repeat requests are served
 //!   from memory.
 //!
+//! A fourth section stampedes `STAMPEDE_CLIENTS` concurrent clients
+//! onto **one** hot stream with the image cache disabled: without
+//! single-flight coalescing every request would cost a full decode;
+//! with it, concurrent identical requests share one. The measured
+//! dedup factor (requests per cold decode) is asserted ≥ K/2 in full
+//! runs and ≥ 2 in quick mode.
+//!
 //! Results go to `BENCH_serve.json` at the repository root. `--test`
 //! (how `cargo test --benches` invokes bench targets) or
 //! `BENCH_QUICK=1` run a reduced smoke pass and skip the JSON write.
@@ -17,6 +24,7 @@
 //! asserted here, in quick mode too.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
 use std::time::Instant;
 
 use jpeg2000::service::{DecodeService, Request, RequestKind, ServiceConfig};
@@ -24,6 +32,55 @@ use jpeg2000_models::workload::workload;
 use jpeg2000_models::ModeSel;
 
 const CLIENTS: usize = 4;
+const STAMPEDE_CLIENTS: usize = 8;
+
+/// Stampede: every client hammers the same stream with identical
+/// strict requests, image cache off, so each served request is either
+/// a real decode (an image-cache miss) or a coalesced ride on one.
+/// Returns (req/s, cold_decodes, coalesced).
+fn stampede(hot: &[u8], per_client: usize) -> (f64, u64, u64) {
+    let svc = DecodeService::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: STAMPEDE_CLIENTS,
+        header_cache_bytes: 8 << 20,
+        image_cache_bytes: 0,
+        metrics: None,
+    });
+    let barrier = Barrier::new(STAMPEDE_CLIENTS);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..STAMPEDE_CLIENTS {
+            let (svc, barrier) = (&svc, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..per_client {
+                    let ticket = svc
+                        .submit_wait(
+                            hot,
+                            Request {
+                                kind: RequestKind::Strict,
+                                timeout: None,
+                            },
+                            std::time::Duration::from_secs(60),
+                        )
+                        .expect("stampede submission");
+                    ticket.wait().expect("stampede decode");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = svc.shutdown();
+    assert!(stats.reconciles(), "stampede accounting must reconcile");
+    assert_eq!(stats.image_hits, 0, "image cache is disabled");
+    let requests = (STAMPEDE_CLIENTS * per_client) as u64;
+    assert_eq!(stats.submitted + stats.coalesced, requests);
+    (
+        requests as f64 / elapsed,
+        stats.image_misses,
+        stats.coalesced,
+    )
+}
 
 /// Drives `CLIENTS` threads round-robin over the streams for
 /// `per_client` requests each; returns sustained requests/second.
@@ -127,6 +184,28 @@ fn main() {
         cold
     );
 
+    // Single-flight stampede: K clients, one hot stream, no image
+    // cache. The dedup factor (requests per cold decode) is what
+    // coalescing buys — a non-coalescing service scores exactly 1.
+    let (st_rate, st_misses, st_coalesced) = stampede(&lossless.codestream, per_client);
+    let st_requests = (STAMPEDE_CLIENTS * per_client) as u64;
+    let dedup = st_requests as f64 / st_misses.max(1) as f64;
+    println!(
+        "stampede: {st_rate:.1} req/s  ({st_requests} requests -> {st_misses} cold decodes, \
+         coalesced={st_coalesced}, dedup {dedup:.1}x)"
+    );
+    let floor = if quick {
+        2
+    } else {
+        (STAMPEDE_CLIENTS / 2) as u64
+    };
+    assert!(
+        st_misses * floor <= st_requests,
+        "coalescing must cut cold decodes by >= {floor}x under a \
+         {STAMPEDE_CLIENTS}-client stampede (got {st_misses} decodes \
+         for {st_requests} requests)"
+    );
+
     if quick {
         println!("quick mode: skipping BENCH_serve.json");
         return;
@@ -137,7 +216,10 @@ fn main() {
          \"clients\": {CLIENTS},\n  \"requests_per_client\": {per_client},\n  \
          \"sustained_req_per_s\": {{ \"cold\": {cold:.3}, \
          \"header_cached\": {header:.3}, \"image_cached\": {image:.3} }},\n  \
-         \"speedup_vs_cold\": {{ \"header_cached\": {:.3}, \"image_cached\": {:.3} }}\n}}\n",
+         \"speedup_vs_cold\": {{ \"header_cached\": {:.3}, \"image_cached\": {:.3} }},\n  \
+         \"stampede\": {{ \"clients\": {STAMPEDE_CLIENTS}, \"requests\": {st_requests}, \
+         \"req_per_s\": {st_rate:.3}, \"cold_decodes\": {st_misses}, \
+         \"coalesced\": {st_coalesced}, \"dedup_factor\": {dedup:.3} }}\n}}\n",
         header / cold,
         image / cold,
     );

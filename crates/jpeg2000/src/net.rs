@@ -504,6 +504,7 @@ fn served_to_wire(s: ServedFrom) -> u8 {
         ServedFrom::Cold => 0,
         ServedFrom::HeaderCache => 1,
         ServedFrom::ImageCache => 2,
+        ServedFrom::Coalesced => 3,
     }
 }
 
@@ -512,6 +513,7 @@ fn served_from_wire(v: u8) -> Result<ServedFrom, WireError> {
         0 => Ok(ServedFrom::Cold),
         1 => Ok(ServedFrom::HeaderCache),
         2 => Ok(ServedFrom::ImageCache),
+        3 => Ok(ServedFrom::Coalesced),
         _ => Err(WireError::Protocol(format!(
             "unknown served-from level {v}"
         ))),
@@ -980,7 +982,7 @@ impl Client {
     /// Any connect-time [`io::Error`].
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        Self::configure_socket(&stream)?;
         let addr = stream.peer_addr()?;
         Ok(Client {
             stream,
@@ -988,6 +990,19 @@ impl Client {
             max_frame_bytes: MAX_FRAME_BYTES,
             op_deadline: None,
         })
+    }
+
+    /// Per-socket configuration, shared by [`Self::connect`] and
+    /// [`Self::reconnect`] so a replacement socket can never silently
+    /// lose an option the original had. Everything else that shapes an
+    /// operation — `op_deadline`, `max_frame_bytes` — lives on the
+    /// `Client` itself and is applied per request (the deadline
+    /// installs its remaining-budget read/write timeouts on every
+    /// syscall, see [`DeadlineStream`]), so it survives any number of
+    /// reconnects by construction (regression:
+    /// `reconnected_client_keeps_its_op_deadline`).
+    fn configure_socket(stream: &TcpStream) -> io::Result<()> {
+        stream.set_nodelay(true)
     }
 
     /// Lowers (or raises) the response-frame size this client accepts.
@@ -1139,7 +1154,7 @@ impl Client {
 
     fn reconnect(&mut self) -> io::Result<()> {
         let fresh = TcpStream::connect(self.addr)?;
-        fresh.set_nodelay(true)?;
+        Self::configure_socket(&fresh)?;
         self.stream = fresh;
         Ok(())
     }
@@ -1568,6 +1583,81 @@ mod tests {
         assert!(
             elapsed >= Duration::from_millis(150) && elapsed < Duration::from_secs(5),
             "deadline respected: {elapsed:?}"
+        );
+        stop_tx.send(()).unwrap();
+        stall.join().unwrap();
+    }
+
+    /// The coalesced outcome is part of the wire taxonomy: it
+    /// roundtrips alongside the cache levels, and codes beyond the
+    /// taxonomy stay protocol errors rather than panics.
+    #[test]
+    fn coalesced_served_from_roundtrips_on_the_wire() {
+        let img = test_image();
+        let back = decode_response(&encode_ok(&img, None, ServedFrom::Coalesced)).unwrap();
+        assert_eq!(back.served_from, ServedFrom::Coalesced);
+        assert_eq!(back.image, img);
+        for s in [
+            ServedFrom::Cold,
+            ServedFrom::HeaderCache,
+            ServedFrom::ImageCache,
+            ServedFrom::Coalesced,
+        ] {
+            assert_eq!(served_from_wire(served_to_wire(s)).unwrap(), s);
+        }
+        for v in 4..=u8::MAX {
+            assert!(
+                matches!(served_from_wire(v), Err(WireError::Protocol(_))),
+                "wire code {v} must be rejected"
+            );
+        }
+    }
+
+    /// Regression: the audit of `reconnect()` — the fresh socket must
+    /// behave exactly like the original, in particular a mid-frame
+    /// stall *after* a reconnect must still surface as
+    /// [`NetError::Timeout`] under the client's `op_deadline` rather
+    /// than hanging (the deadline lives on the `Client`, not the
+    /// socket, and installs its timeouts per syscall).
+    #[test]
+    fn reconnected_client_keeps_its_op_deadline() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let stall = std::thread::spawn(move || {
+            // First connection: the client's original socket; it goes
+            // quiet once the client reconnects.
+            let (_original, _) = listener.accept().unwrap();
+            // Second connection (post-reconnect): read the request,
+            // promise a 1024-byte frame, deliver one byte, stall.
+            let (mut s, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 4096];
+            while let Ok(n) = s.read(&mut sink) {
+                if n == 0 || n < sink.len() {
+                    break;
+                }
+            }
+            let mut head = [0u8; 8];
+            head[..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+            head[4..].copy_from_slice(&1024u32.to_le_bytes());
+            s.write_all(&head).unwrap();
+            s.write_all(&[0u8]).unwrap();
+            let _ = stop_rx.recv_timeout(Duration::from_secs(30));
+        });
+        let mut client = Client::connect(addr)
+            .unwrap()
+            .op_deadline(Duration::from_millis(200));
+        client.reconnect().unwrap();
+        let started = Instant::now();
+        let err = client
+            .request(&Request::strict(), b"unused")
+            .expect_err("a mid-frame stall after reconnect must not hang");
+        let elapsed = started.elapsed();
+        assert!(matches!(err, NetError::Timeout), "{err:?}");
+        assert!(
+            elapsed >= Duration::from_millis(150) && elapsed < Duration::from_secs(5),
+            "deadline survived the reconnect: {elapsed:?}"
         );
         stop_tx.send(()).unwrap();
         stall.join().unwrap();

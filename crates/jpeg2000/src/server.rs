@@ -1059,10 +1059,11 @@ mod tests {
         assert_eq!(counter("server.frames_out"), stats.frames_out);
         assert_eq!(counter("server.accepted"), stats.accepted);
         assert_eq!(counter("server.busy"), stats.busy);
-        // Cross-family reconciliation: one service submission per
-        // admitted request.
+        // Cross-family reconciliation: every admitted request is one
+        // service submission — queued or coalesced onto an identical
+        // in-flight one.
         assert_eq!(
-            counter("service.submitted"),
+            counter("service.submitted") + counter("service.coalesced"),
             stats.ok + stats.expired + stats.failed + stats.internal
         );
         assert_eq!(

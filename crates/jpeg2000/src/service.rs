@@ -21,6 +21,12 @@
 //!   parsed headers (a [`StagedDecoder`] reused across repeat decodes
 //!   of the same stream) and full decoded images, each with its own
 //!   byte budget and least-recently-used eviction.
+//! * **Single-flight coalescing** — while a decode for a given
+//!   `(stream, kind)` is queued or running, identical submissions
+//!   attach to it as followers and share the leader's result
+//!   ([`ServedFrom::Coalesced`]) instead of enqueueing duplicate work;
+//!   each follower keeps its own deadline and cancellation, and a
+//!   departing leader hands the decode to the oldest live follower.
 //!
 //! Strict, tolerant, quality, and thumbnail decodes all route through
 //! the same pool and are bit-exact with the one-shot entry points
@@ -144,6 +150,42 @@ pub enum RequestKind {
     },
 }
 
+impl RequestKind {
+    /// Header-independent normalization. `Quality { max_layers: 0 }`
+    /// decodes exactly like `Quality { max_layers: 1 }` (the one-shot
+    /// entry point clamps, see [`crate::codec::decode_quality`]), so
+    /// the two must share one image-cache entry and one single-flight
+    /// group — before this, equivalent requests occupied distinct LRU
+    /// entries and defeated both (regression:
+    /// `quality_zero_shares_the_quality_one_cache_entry`).
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        match self {
+            RequestKind::Quality { max_layers: 0 } => RequestKind::Quality { max_layers: 1 },
+            other => other,
+        }
+    }
+
+    /// Header-aware normalization: clamps the parameter against the
+    /// stream's actual layer/level counts, under which the decode is
+    /// provably identical — `Quality { n ≥ layers }` keeps every layer
+    /// and `Thumbnail { r ≥ levels }` decodes the full image, exactly
+    /// like the clamped forms. Applied once the parsed header is
+    /// available (at submit time when the header cache already holds
+    /// it, and again inside the worker once it must be parsed anyway).
+    fn canonical(self, layers: usize, levels: usize) -> Self {
+        match self {
+            RequestKind::Quality { max_layers } => RequestKind::Quality {
+                max_layers: max_layers.clamp(1, layers.max(1)),
+            },
+            RequestKind::Thumbnail { max_res } => RequestKind::Thumbnail {
+                max_res: max_res.min(levels),
+            },
+            other => other,
+        }
+    }
+}
+
 /// One decode request: the variant plus an optional deadline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
@@ -245,6 +287,10 @@ pub enum ServedFrom {
     HeaderCache,
     /// Returned a cached decoded image.
     ImageCache,
+    /// Attached to an identical in-flight request (single-flight
+    /// coalescing) and shared the leader's result — no decode of its
+    /// own was ever queued.
+    Coalesced,
 }
 
 /// A completed decode.
@@ -371,6 +417,13 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         }
     }
 
+    /// Reads an entry without refreshing its recency or counting a
+    /// hit — for advisory lookups (submit-time kind canonicalization)
+    /// that must not perturb eviction order or the hit/miss tallies.
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|e| &e.value)
+    }
+
     fn get(&mut self, key: &K) -> Option<V> {
         self.tick += 1;
         let tick = self.tick;
@@ -447,14 +500,35 @@ fn image_bytes(image: &Image) -> usize {
 // Shared state, metrics, stats
 // ---------------------------------------------------------------------------
 
+/// Identity of a single-flight group: one queued-or-decoding job
+/// exists per live key, and every identical submission attaches to it.
+/// The kind is normalized (and, when the header is already cached,
+/// canonicalized) before keying, so equivalent requests coalesce.
+type FlightKey = (StreamKey, RequestKind);
+
+/// One requester attached to a flight: its ticket plumbing plus its
+/// *own* deadline/cancellation. The first waiter is the leader (its
+/// submission created the queued job); later ones are coalesced
+/// followers. A waiter leaving — expiry, cancellation — never disturbs
+/// the decode while any other waiter remains: the oldest survivor is
+/// implicitly the new leader.
+struct Waiter {
+    deadline: Option<Instant>,
+    cancel: Arc<AtomicBool>,
+    reply: mpsc::Sender<Result<ServiceResponse, ServiceError>>,
+    enqueued: Instant,
+    /// True for followers: reported as [`ServedFrom::Coalesced`].
+    coalesced: bool,
+}
+
+/// A queued decode. Requester-specific state (deadline, cancel flag,
+/// reply channel) lives in the flight's [`Waiter`]s, not here — the
+/// job is the *shared* work, the waiters are who's asking for it.
 struct Job {
     stream: Arc<[u8]>,
     key: StreamKey,
-    request: Request,
-    deadline: Option<Instant>,
-    enqueued: Instant,
-    cancel: Arc<AtomicBool>,
-    reply: mpsc::Sender<Result<ServiceResponse, ServiceError>>,
+    /// Normalized request kind — the second half of the [`FlightKey`].
+    kind: RequestKind,
     /// Test hook: artificial per-tile work, so deadline/cancel races
     /// are deterministic without huge images.
     #[cfg(test)]
@@ -467,6 +541,12 @@ struct Job {
     /// claiming the job, so tests can hold a worker busy at will.
     #[cfg(test)]
     gate: Option<Arc<Gate>>,
+}
+
+impl Job {
+    fn flight_key(&self) -> FlightKey {
+        (self.key, self.kind)
+    }
 }
 
 /// Test gate with two phases: the worker announces *arrival* (so the
@@ -518,6 +598,7 @@ struct QueueState {
 #[derive(Default)]
 struct Tallies {
     submitted: AtomicU64,
+    coalesced: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
     expired: AtomicU64,
@@ -539,6 +620,12 @@ struct Tallies {
 pub struct ServiceStats {
     /// Requests accepted into the queue.
     pub submitted: u64,
+    /// Requests that attached to an identical in-flight submission
+    /// (single-flight coalescing) instead of queueing their own job.
+    /// They resolve through the same outcome counters as queued
+    /// requests, so they appear on the right-hand side of
+    /// [`ServiceStats::reconciles`] alongside `submitted`.
+    pub coalesced: u64,
     /// Requests that resolved with a response.
     pub completed: u64,
     /// Submissions refused with [`ServiceError::QueueFull`].
@@ -571,19 +658,24 @@ pub struct ServiceStats {
 
 impl ServiceStats {
     /// The accounting identity: once the queue is drained, every
-    /// accepted submission resolved exactly one way. (While requests
-    /// are still in flight, `submitted` runs ahead of the outcomes.)
+    /// accepted submission — queued (`submitted`) or attached to an
+    /// in-flight twin (`coalesced`) — resolved exactly one way. (While
+    /// requests are still in flight, the left side runs ahead of the
+    /// outcomes.)
     pub fn reconciles(&self) -> bool {
-        self.submitted == self.completed + self.expired + self.cancelled + self.failed
+        self.submitted + self.coalesced
+            == self.completed + self.expired + self.cancelled + self.failed
     }
 }
 
 struct Meters {
     queue_depth: Gauge,
     inflight_bytes: Gauge,
+    singleflight_inflight: Gauge,
     queue_wait: Histogram,
     service_time: Histogram,
     submitted: Counter,
+    coalesced: Counter,
     completed: Counter,
     rejected: Counter,
     expired: Counter,
@@ -602,9 +694,11 @@ impl Meters {
         Meters {
             queue_depth: reg.gauge("service.queue.depth"),
             inflight_bytes: reg.gauge("service.inflight_bytes"),
+            singleflight_inflight: reg.gauge("service.singleflight_inflight"),
             queue_wait: reg.histogram("service.queue_wait"),
             service_time: reg.histogram("service.service_time"),
             submitted: reg.counter("service.submitted"),
+            coalesced: reg.counter("service.coalesced"),
             completed: reg.counter("service.completed"),
             rejected: reg.counter("service.rejected"),
             expired: reg.counter("service.expired"),
@@ -634,6 +728,14 @@ struct Shared {
     /// Signalled when queue space frees up (`submit_wait` waits here).
     space: Condvar,
     capacity: usize,
+    /// Single-flight groups: one entry per queued-or-decoding job,
+    /// holding every requester awaiting that job's result.
+    ///
+    /// Lock order: `singleflight` before `state`, always; and never
+    /// sleep on a condvar while holding `singleflight` — workers must
+    /// be able to sweep/broadcast groups while submitters wait for
+    /// queue space.
+    singleflight: Mutex<HashMap<FlightKey, Vec<Waiter>>>,
     header_cache: Mutex<LruCache<(StreamKey, bool), CachedHeader>>,
     image_cache: Mutex<LruCache<(StreamKey, RequestKind), CachedImage>>,
     tallies: Tallies,
@@ -680,6 +782,73 @@ impl Shared {
             m.inflight_bytes.set(now as i64);
         }
     }
+
+    fn set_singleflight(&self, groups: usize) {
+        if let Some(m) = &self.meters {
+            m.singleflight_inflight.set(groups as i64);
+        }
+    }
+
+    /// Resolves one waiter with an error outcome, tallying it and
+    /// recording how long it waited between submission and resolution.
+    fn resolve_err(&self, waiter: &Waiter, err: ServiceError, now: Instant) {
+        let (tally, meter): (&AtomicU64, fn(&Meters) -> &Counter) = match &err {
+            ServiceError::DeadlineExceeded => (&self.tallies.expired, |m| &m.expired),
+            ServiceError::Cancelled => (&self.tallies.cancelled, |m| &m.cancelled),
+            _ => (&self.tallies.failed, |m| &m.failed),
+        };
+        self.bump(tally, meter);
+        if let Some(m) = &self.meters {
+            m.queue_wait
+                .observe(sim_time(now.saturating_duration_since(waiter.enqueued)));
+        }
+        let _ = waiter.reply.send(Err(err));
+    }
+}
+
+/// Verdict of a tile-boundary sweep over a flight's waiters.
+#[derive(PartialEq, Eq)]
+enum Sweep {
+    /// At least one live waiter remains — keep decoding.
+    Continue,
+    /// Every waiter resolved (expired/cancelled) and the group is
+    /// gone; the decode has nobody left to deliver to and stops.
+    Abandon,
+}
+
+/// Resolves expired and cancelled waiters out of the flight `fkey`.
+/// Run before every tile: this is the deadline/cancellation
+/// granularity. Removing the *leader* (the oldest waiter) while
+/// followers remain is the promotion case — the decode keeps running
+/// and the oldest survivor inherits the result.
+fn sweep(shared: &Shared, fkey: FlightKey) -> Sweep {
+    let now = Instant::now();
+    let mut flights = lock_unpoisoned(&shared.singleflight);
+    let Some(group) = flights.get_mut(&fkey) else {
+        // Defensive: the group is created with the job and removed
+        // only by the worker that claimed it, so it must still exist.
+        return Sweep::Abandon;
+    };
+    group.retain(|w| {
+        if w.cancel.load(Ordering::Relaxed) {
+            shared.resolve_err(w, ServiceError::Cancelled, now);
+            false
+        } else if w.deadline.is_some_and(|d| now >= d) {
+            shared.resolve_err(w, ServiceError::DeadlineExceeded, now);
+            false
+        } else {
+            true
+        }
+    });
+    if group.is_empty() {
+        flights.remove(&fkey);
+        let groups = flights.len();
+        drop(flights);
+        shared.set_singleflight(groups);
+        Sweep::Abandon
+    } else {
+        Sweep::Continue
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -704,6 +873,7 @@ impl DecodeService {
             work: Condvar::new(),
             space: Condvar::new(),
             capacity: config.queue_capacity,
+            singleflight: Mutex::new(HashMap::new()),
             header_cache: Mutex::new(LruCache::new(config.header_cache_bytes)),
             image_cache: Mutex::new(LruCache::new(config.image_cache_bytes)),
             tallies: Tallies::default(),
@@ -780,17 +950,14 @@ impl DecodeService {
         space_timeout: Option<Duration>,
     ) -> Result<Ticket, ServiceError> {
         let key = StreamKey::of(&stream);
+        let kind = self.canonical_kind(key, request.kind);
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
         let cancel = Arc::new(AtomicBool::new(false));
         let job = Job {
             stream,
             key,
-            request,
-            deadline: request.timeout.map(|t| now + t),
-            enqueued: now,
-            cancel: Arc::clone(&cancel),
-            reply: tx,
+            kind,
             #[cfg(test)]
             tile_delay: None,
             #[cfg(test)]
@@ -798,54 +965,107 @@ impl DecodeService {
             #[cfg(test)]
             gate: None,
         };
-        self.enqueue(job, space_timeout)?;
+        let waiter = Waiter {
+            deadline: request.timeout.map(|t| now + t),
+            cancel: Arc::clone(&cancel),
+            reply: tx,
+            enqueued: now,
+            coalesced: false,
+        };
+        self.enqueue(job, waiter, space_timeout)?;
         Ok(Ticket { rx, cancel })
     }
 
-    fn enqueue(&self, job: Job, space_timeout: Option<Duration>) -> Result<(), ServiceError> {
-        let shared = &self.shared;
-        let mut state = lock_unpoisoned(&shared.state);
-        if state.shutting_down {
-            return Err(ServiceError::ShuttingDown);
+    /// The cache/flight identity of `kind` for this stream: always the
+    /// header-independent [`RequestKind::normalized`] form, refined to
+    /// the header-aware canonical form when the parsed header is
+    /// already cached. When it is not, the worker re-canonicalizes
+    /// after parsing (see [`serve`]) — a submission racing that first
+    /// parse may key a separate flight, which costs a missed coalesce,
+    /// never a wrong result.
+    fn canonical_kind(&self, key: StreamKey, kind: RequestKind) -> RequestKind {
+        let kind = kind.normalized();
+        if !matches!(
+            kind,
+            RequestKind::Quality { .. } | RequestKind::Thumbnail { .. }
+        ) {
+            return kind;
         }
-        if state.queue.len() >= shared.capacity {
-            let wait_deadline = match space_timeout {
-                None => {
-                    drop(state);
-                    shared.bump(&shared.tallies.rejected, |m| &m.rejected);
-                    return Err(ServiceError::QueueFull);
-                }
-                Some(t) => Instant::now() + t,
-            };
-            loop {
-                if state.shutting_down {
-                    return Err(ServiceError::ShuttingDown);
-                }
-                if state.queue.len() < shared.capacity {
-                    break;
-                }
-                let now = Instant::now();
-                if now >= wait_deadline {
-                    drop(state);
-                    shared.bump(&shared.tallies.rejected, |m| &m.rejected);
-                    return Err(ServiceError::QueueFull);
-                }
-                state = shared
-                    .space
-                    .wait_timeout(state, wait_deadline - now)
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .0;
+        let cache = lock_unpoisoned(&self.shared.header_cache);
+        match cache.peek(&(key, false)) {
+            Some(h) => {
+                let hdr = h.dec.header();
+                kind.canonical(hdr.layers as usize, hdr.levels as usize)
             }
+            None => kind,
         }
-        let bytes = job.stream.len() as u64;
-        state.queue.push_back(job);
-        let depth = state.queue.len();
-        drop(state);
-        shared.bump(&shared.tallies.submitted, |m| &m.submitted);
-        shared.set_depth(depth);
-        shared.add_inflight(bytes);
-        shared.work.notify_one();
-        Ok(())
+    }
+
+    /// Attaches the submission to an identical in-flight request, or
+    /// enqueues it as a new flight's leader. The flight map is always
+    /// examined before the queue — and re-examined after every
+    /// queue-space wait — so two identical submissions can never both
+    /// occupy queue slots.
+    fn enqueue(
+        &self,
+        job: Job,
+        mut waiter: Waiter,
+        space_timeout: Option<Duration>,
+    ) -> Result<(), ServiceError> {
+        let shared = &self.shared;
+        let fkey = job.flight_key();
+        let wait_deadline = space_timeout.map(|t| Instant::now() + t);
+        loop {
+            let mut flights = lock_unpoisoned(&shared.singleflight);
+            if let Some(group) = flights.get_mut(&fkey) {
+                waiter.coalesced = true;
+                group.push(waiter);
+                drop(flights);
+                shared.bump(&shared.tallies.coalesced, |m| &m.coalesced);
+                return Ok(());
+            }
+            let mut state = lock_unpoisoned(&shared.state);
+            if state.shutting_down {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if state.queue.len() < shared.capacity {
+                flights.insert(fkey, vec![waiter]);
+                let groups = flights.len();
+                drop(flights);
+                let bytes = job.stream.len() as u64;
+                state.queue.push_back(job);
+                let depth = state.queue.len();
+                drop(state);
+                shared.bump(&shared.tallies.submitted, |m| &m.submitted);
+                shared.set_singleflight(groups);
+                shared.set_depth(depth);
+                shared.add_inflight(bytes);
+                shared.work.notify_one();
+                return Ok(());
+            }
+            // Queue full. Never sleep holding the flight map — workers
+            // need it to sweep and broadcast.
+            drop(flights);
+            let Some(wait_deadline) = wait_deadline else {
+                drop(state);
+                shared.bump(&shared.tallies.rejected, |m| &m.rejected);
+                return Err(ServiceError::QueueFull);
+            };
+            let now = Instant::now();
+            if now >= wait_deadline {
+                drop(state);
+                shared.bump(&shared.tallies.rejected, |m| &m.rejected);
+                return Err(ServiceError::QueueFull);
+            }
+            let state = shared
+                .space
+                .wait_timeout(state, wait_deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+            drop(state);
+            // Loop: a flight for this key may have appeared while we
+            // slept, letting the submission coalesce instead of queue.
+        }
     }
 
     /// A snapshot of the outcome and cache tallies.
@@ -854,6 +1074,7 @@ impl DecodeService {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         ServiceStats {
             submitted: get(&t.submitted),
+            coalesced: get(&t.coalesced),
             completed: get(&t.completed),
             rejected: get(&t.rejected),
             expired: get(&t.expired),
@@ -944,56 +1165,98 @@ fn handle(shared: &Shared, job: Job, scratch: &mut DecodeScratch) {
     if let Some(gate) = &job.gate {
         gate.pass();
     }
-    let queue_wait = job.enqueued.elapsed();
-    if let Some(m) = &shared.meters {
-        m.queue_wait.observe(sim_time(queue_wait));
-    }
     let started = Instant::now();
     // A panicking decode (or test hook) must not kill the worker: the
-    // pool would silently shrink, the ticket would resolve `Lost` only
-    // because the channel closed, and the `submitted == outcomes`
-    // identity behind `ServiceStats::reconciles` would break. Catch
-    // the unwind, resolve the request as failed, keep serving.
+    // pool would silently shrink, the tickets would resolve `Lost` only
+    // because the channel closed, and the identity behind
+    // `ServiceStats::reconciles` would break. Catch the unwind, resolve
+    // the flight as failed, keep serving.
     let outcome =
         catch_unwind(AssertUnwindSafe(|| serve(shared, &job, scratch))).unwrap_or_else(|payload| {
             // The arena may have been mid-rewrite when the stack
             // unwound; a fresh one is cheap and provably clean.
             *scratch = DecodeScratch::new();
-            Err(ServiceError::Panicked(panic_message(payload.as_ref())))
+            Err(Abort::Error(ServiceError::Panicked(panic_message(
+                payload.as_ref(),
+            ))))
         });
     let service_time = started.elapsed();
     if let Some(m) = &shared.meters {
         m.service_time.observe(sim_time(service_time));
     }
-    let (tally, meter): (&AtomicU64, fn(&Meters) -> &Counter) = match &outcome {
-        Ok(_) => (&shared.tallies.completed, |m| &m.completed),
-        Err(ServiceError::DeadlineExceeded) => (&shared.tallies.expired, |m| &m.expired),
-        Err(ServiceError::Cancelled) => (&shared.tallies.cancelled, |m| &m.cancelled),
-        Err(_) => (&shared.tallies.failed, |m| &m.failed),
+    // Retire the flight: everyone still attached gets this outcome —
+    // including waiters whose deadline has passed by now (the result
+    // won the race) and waiters who attached mid-decode. Removing the
+    // entry under the lock means no submission can attach afterwards.
+    //
+    // Except when the flight was *abandoned*: the sweep already
+    // resolved every waiter and removed the group, and an identical
+    // submission may since have opened a fresh group (with its own
+    // queued job) under the same key. That group belongs to the new
+    // job — removing it here would orphan its waiters.
+    let waiters = if matches!(outcome, Err(Abort::Abandoned)) {
+        Vec::new()
+    } else {
+        let mut flights = lock_unpoisoned(&shared.singleflight);
+        let ws = flights.remove(&job.flight_key()).unwrap_or_default();
+        let groups = flights.len();
+        drop(flights);
+        shared.set_singleflight(groups);
+        ws
     };
-    shared.bump(tally, meter);
-    let reply = outcome.map(|(image, report, served_from)| ServiceResponse {
-        image,
-        report,
-        served_from,
-        queue_wait,
-        service_time,
-    });
-    // The requester may have dropped its ticket; that is its problem,
-    // the accounting above already recorded the outcome.
-    let _ = job.reply.send(reply);
+    match outcome {
+        Ok((image, report, served_from)) => {
+            for w in waiters {
+                let queue_wait = started.saturating_duration_since(w.enqueued);
+                shared.bump(&shared.tallies.completed, |m| &m.completed);
+                if let Some(m) = &shared.meters {
+                    m.queue_wait.observe(sim_time(queue_wait));
+                }
+                let from = if w.coalesced {
+                    ServedFrom::Coalesced
+                } else {
+                    served_from
+                };
+                // The requester may have dropped its ticket; that is
+                // its problem, the outcome is already recorded.
+                let _ = w.reply.send(Ok(ServiceResponse {
+                    image: Arc::clone(&image),
+                    report: report.clone(),
+                    served_from: from,
+                    queue_wait,
+                    service_time,
+                }));
+            }
+        }
+        // Every waiter was already resolved (and tallied) by the
+        // tile-boundary sweep; nothing left to deliver.
+        Err(Abort::Abandoned) => {}
+        Err(Abort::Error(err)) => {
+            let now = Instant::now();
+            for w in waiters {
+                shared.resolve_err(&w, err.clone(), now);
+            }
+        }
+    }
     shared.sub_inflight(job.stream.len() as u64);
 }
 
 type Served = (Arc<Image>, Option<DecodeReport>, ServedFrom);
 
-fn serve(shared: &Shared, job: &Job, scratch: &mut DecodeScratch) -> Result<Served, ServiceError> {
-    let check = |_tile: usize| -> Result<(), ServiceError> {
-        if job.cancel.load(Ordering::Relaxed) {
-            return Err(ServiceError::Cancelled);
-        }
-        if job.deadline.is_some_and(|d| Instant::now() >= d) {
-            return Err(ServiceError::DeadlineExceeded);
+/// Why [`serve`] stopped without a result.
+enum Abort {
+    /// A real failure (parse/decode error, injected panic) — broadcast
+    /// to every remaining waiter as `failed`.
+    Error(ServiceError),
+    /// The sweep resolved every waiter (deadlines/cancellations); the
+    /// decode stops and nothing more is tallied.
+    Abandoned,
+}
+
+fn serve(shared: &Shared, job: &Job, scratch: &mut DecodeScratch) -> Result<Served, Abort> {
+    let check = |_tile: usize| -> Result<(), Abort> {
+        if sweep(shared, job.flight_key()) == Sweep::Abandon {
+            return Err(Abort::Abandoned);
         }
         #[cfg(test)]
         if job.panic_at.is_some_and(|at| _tile >= at) {
@@ -1007,16 +1270,15 @@ fn serve(shared: &Shared, job: &Job, scratch: &mut DecodeScratch) -> Result<Serv
     };
     check(0)?;
 
-    // Level 2: full decoded image.
-    let image_key = (job.key, job.request.kind);
+    // Level 2: full decoded image, under the submit-time key.
+    let image_key = (job.key, job.kind);
     if let Some(hit) = lock_unpoisoned(&shared.image_cache).get(&image_key) {
         shared.bump(&shared.tallies.image_hits, |m| &m.image_hits);
         return Ok((hit.image, hit.report, ServedFrom::ImageCache));
     }
-    shared.bump(&shared.tallies.image_misses, |m| &m.image_misses);
 
     // Level 1: parsed header.
-    let tolerant = job.request.kind == RequestKind::Tolerant;
+    let tolerant = job.kind == RequestKind::Tolerant;
     let header_key = (job.key, tolerant);
     let cached = lock_unpoisoned(&shared.header_cache).get(&header_key);
     let (header, served_from) = match cached {
@@ -1026,17 +1288,24 @@ fn serve(shared: &Shared, job: &Job, scratch: &mut DecodeScratch) -> Result<Serv
         }
         None => {
             shared.bump(&shared.tallies.header_misses, |m| &m.header_misses);
-            let header = if tolerant {
-                let (dec, report) =
-                    StagedDecoder::new_tolerant(&job.stream).map_err(ServiceError::Decode)?;
-                CachedHeader {
+            let parsed = if tolerant {
+                StagedDecoder::new_tolerant(&job.stream).map(|(dec, report)| CachedHeader {
                     dec: Arc::new(dec),
                     base_report: Some(report),
-                }
+                })
             } else {
-                CachedHeader {
-                    dec: Arc::new(StagedDecoder::new(&job.stream).map_err(ServiceError::Decode)?),
+                StagedDecoder::new(&job.stream).map(|dec| CachedHeader {
+                    dec: Arc::new(dec),
                     base_report: None,
+                })
+            };
+            let header = match parsed {
+                Ok(h) => h,
+                Err(e) => {
+                    // The parse failure is this flight's one image-
+                    // cache miss: it reached the decode path cold.
+                    shared.bump(&shared.tallies.image_misses, |m| &m.image_misses);
+                    return Err(Abort::Error(ServiceError::Decode(e)));
                 }
             };
             let evicted = lock_unpoisoned(&shared.header_cache).insert(
@@ -1055,7 +1324,22 @@ fn serve(shared: &Shared, job: &Job, scratch: &mut DecodeScratch) -> Result<Serv
         }
     };
 
-    let (image, report) = run_decode(&header, job.request.kind, scratch, &check)?;
+    // With the parsed header in hand, refine the kind to its canonical
+    // form (submit-time normalization could not clamp against layer/
+    // level counts it had not seen). A canonical twin already cached
+    // counts as the flight's one image-cache hit.
+    let hdr = header.dec.header();
+    let kind = job.kind.canonical(hdr.layers as usize, hdr.levels as usize);
+    let image_key = (job.key, kind);
+    if kind != job.kind {
+        if let Some(hit) = lock_unpoisoned(&shared.image_cache).get(&image_key) {
+            shared.bump(&shared.tallies.image_hits, |m| &m.image_hits);
+            return Ok((hit.image, hit.report, ServedFrom::ImageCache));
+        }
+    }
+    shared.bump(&shared.tallies.image_misses, |m| &m.image_misses);
+
+    let (image, report) = run_decode(&header, kind, scratch, &check)?;
     let image = Arc::new(image);
     let evicted = lock_unpoisoned(&shared.image_cache).insert(
         image_key,
@@ -1083,17 +1367,16 @@ fn run_decode(
     header: &CachedHeader,
     kind: RequestKind,
     scratch: &mut DecodeScratch,
-    check: &impl Fn(usize) -> Result<(), ServiceError>,
-) -> Result<(Image, Option<DecodeReport>), ServiceError> {
+    check: &impl Fn(usize) -> Result<(), Abort>,
+) -> Result<(Image, Option<DecodeReport>), Abort> {
+    let decode_err = |e| Abort::Error(ServiceError::Decode(e));
     let dec = &header.dec;
     match kind {
         RequestKind::Strict => {
             let mut image = dec.blank_image();
             for t in 0..dec.num_tiles() {
                 check(t)?;
-                let samples = dec
-                    .decode_tile_with(t, scratch)
-                    .map_err(ServiceError::Decode)?;
+                let samples = dec.decode_tile_with(t, scratch).map_err(decode_err)?;
                 dec.place_tile(&mut image, &samples);
             }
             Ok((image, None))
@@ -1114,7 +1397,7 @@ fn run_decode(
                 check(t)?;
                 let samples = dec
                     .decode_tile_quality_with(t, max_layers, scratch)
-                    .map_err(ServiceError::Decode)?;
+                    .map_err(decode_err)?;
                 dec.place_tile(&mut image, &samples);
             }
             Ok((image, None))
@@ -1131,7 +1414,7 @@ fn run_decode(
                 check(t)?;
                 let samples = dec
                     .decode_tile_thumbnail_with(t, max_res, scratch)
-                    .map_err(ServiceError::Decode)?;
+                    .map_err(decode_err)?;
                 dec.place_tile(&mut image, &samples);
             }
             Ok((image, None))
@@ -1195,22 +1478,26 @@ mod tests {
     ) -> Result<Ticket, ServiceError> {
         let stream: Arc<[u8]> = bytes.into();
         let key = StreamKey::of(&stream);
+        let kind = svc.canonical_kind(key, request.kind);
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
         let cancel = Arc::new(AtomicBool::new(false));
         let job = Job {
             stream,
             key,
-            request,
-            deadline: request.timeout.map(|t| now + t),
-            enqueued: now,
-            cancel: Arc::clone(&cancel),
-            reply: tx,
+            kind,
             tile_delay,
             panic_at,
             gate,
         };
-        svc.enqueue(job, None)?;
+        let waiter = Waiter {
+            deadline: request.timeout.map(|t| now + t),
+            cancel: Arc::clone(&cancel),
+            reply: tx,
+            enqueued: now,
+            coalesced: false,
+        };
+        svc.enqueue(job, waiter, None)?;
         Ok(Ticket { rx, cancel })
     }
 
@@ -1316,7 +1603,9 @@ mod tests {
 
     #[test]
     fn queue_full_is_reported_and_tallied() {
-        let bytes = stream(13);
+        // Distinct streams throughout: identical ones would coalesce
+        // into the held flight instead of contending for the queue.
+        let streams: Vec<Vec<u8>> = (130..134).map(stream).collect();
         let svc = service(ServiceConfig {
             workers: 1,
             queue_capacity: 1,
@@ -1327,17 +1616,21 @@ mod tests {
         let _guard = AutoOpen(Arc::clone(&gate));
         let held = submit_hooked(
             &svc,
-            &bytes,
+            &streams[0],
             Request::strict(),
             None,
             Some(Arc::clone(&gate)),
         )
         .unwrap();
         gate.await_arrival();
-        let queued = svc.submit(&bytes[..], Request::strict()).unwrap();
-        let full = svc.submit(&bytes[..], Request::strict());
+        let queued = svc.submit(&streams[1][..], Request::strict()).unwrap();
+        let full = svc.submit(&streams[2][..], Request::strict());
         assert_eq!(full.unwrap_err(), ServiceError::QueueFull);
-        let timed = svc.submit_wait(&bytes[..], Request::strict(), Duration::from_millis(10));
+        let timed = svc.submit_wait(
+            &streams[3][..],
+            Request::strict(),
+            Duration::from_millis(10),
+        );
         assert_eq!(timed.unwrap_err(), ServiceError::QueueFull);
         gate.open();
         held.wait().unwrap();
@@ -1345,6 +1638,7 @@ mod tests {
         let stats = svc.shutdown();
         assert_eq!(stats.rejected, 2);
         assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.coalesced, 0);
         assert_eq!(stats.completed, 2);
         assert!(stats.reconciles());
         assert_eq!(stats.max_queue_depth, 1);
@@ -1352,7 +1646,8 @@ mod tests {
 
     #[test]
     fn submit_wait_gets_a_slot_when_space_frees() {
-        let bytes = stream(14);
+        // Distinct streams: identical ones would coalesce, not queue.
+        let streams: Vec<Vec<u8>> = (140..143).map(stream).collect();
         let svc = service(ServiceConfig {
             workers: 1,
             queue_capacity: 1,
@@ -1362,14 +1657,14 @@ mod tests {
         let _guard = AutoOpen(Arc::clone(&gate));
         let held = submit_hooked(
             &svc,
-            &bytes,
+            &streams[0],
             Request::strict(),
             None,
             Some(Arc::clone(&gate)),
         )
         .unwrap();
         gate.await_arrival();
-        let queued = svc.submit(&bytes[..], Request::strict()).unwrap();
+        let queued = svc.submit(&streams[1][..], Request::strict()).unwrap();
         // Waits for the worker to claim `queued`, freeing the slot.
         let opener = {
             let gate = Arc::clone(&gate);
@@ -1379,7 +1674,7 @@ mod tests {
             })
         };
         let waited = svc
-            .submit_wait(&bytes[..], Request::strict(), Duration::from_secs(30))
+            .submit_wait(&streams[2][..], Request::strict(), Duration::from_secs(30))
             .unwrap();
         held.wait().unwrap();
         queued.wait().unwrap();
@@ -1393,7 +1688,10 @@ mod tests {
 
     #[test]
     fn deadline_expires_while_queued() {
-        let bytes = stream(15);
+        // A distinct stream so `doomed` genuinely waits in the queue
+        // (the same stream would attach to the held flight instead).
+        let held_bytes = stream(15);
+        let doomed_bytes = stream(150);
         let svc = service(ServiceConfig {
             workers: 1,
             image_cache_bytes: 0,
@@ -1403,7 +1701,7 @@ mod tests {
         let _guard = AutoOpen(Arc::clone(&gate));
         let held = submit_hooked(
             &svc,
-            &bytes,
+            &held_bytes,
             Request::strict(),
             None,
             Some(Arc::clone(&gate)),
@@ -1412,7 +1710,7 @@ mod tests {
         gate.await_arrival();
         let doomed = svc
             .submit(
-                &bytes[..],
+                &doomed_bytes[..],
                 Request::strict().with_timeout(Duration::from_millis(1)),
             )
             .unwrap();
@@ -1485,7 +1783,10 @@ mod tests {
 
     #[test]
     fn shutdown_drains_queued_requests() {
-        let bytes = stream(18);
+        // Distinct streams so four jobs genuinely sit in the queue at
+        // shutdown (identical ones would coalesce into one flight).
+        let held_bytes = stream(18);
+        let queued_bytes: Vec<Vec<u8>> = (180..184).map(stream).collect();
         let svc = service(ServiceConfig {
             workers: 1,
             queue_capacity: 16,
@@ -1495,15 +1796,16 @@ mod tests {
         let _guard = AutoOpen(Arc::clone(&gate));
         let held = submit_hooked(
             &svc,
-            &bytes,
+            &held_bytes,
             Request::strict(),
             None,
             Some(Arc::clone(&gate)),
         )
         .unwrap();
         gate.await_arrival();
-        let tickets: Vec<Ticket> = (0..4)
-            .map(|_| svc.submit(&bytes[..], Request::strict()).unwrap())
+        let tickets: Vec<Ticket> = queued_bytes
+            .iter()
+            .map(|b| svc.submit(&b[..], Request::strict()).unwrap())
             .collect();
         gate.open();
         let stats = svc.shutdown();
@@ -1546,13 +1848,17 @@ mod tests {
             }
         });
         let stats = svc.shutdown();
-        assert_eq!(stats.submitted, 12);
+        // Concurrent identical requests may coalesce, so only the sum
+        // of queued and attached submissions is exact.
+        assert_eq!(stats.submitted + stats.coalesced, 12);
         assert_eq!(stats.completed, 12);
+        assert!(stats.submitted >= 4, "one leader per distinct stream");
         assert!(stats.reconciles());
-        // Each distinct stream misses once at most (races may decode a
+        // Every queued job does exactly one image-cache lookup; each
+        // distinct stream misses at least once (races may decode a
         // stream twice before its first insert lands, so only bound it).
         assert!(stats.image_misses >= 4);
-        assert!(stats.image_hits + stats.image_misses == 12);
+        assert_eq!(stats.image_hits + stats.image_misses, stats.submitted);
     }
 
     #[test]
@@ -1666,6 +1972,7 @@ mod tests {
         // `.expect("service queue lock")`.
         let shared = Arc::clone(&svc.shared);
         std::thread::spawn(move || {
+            let _flights = shared.singleflight.lock().unwrap();
             let _queue = shared.state.lock().unwrap();
             let _headers = shared.header_cache.lock().unwrap();
             let _images = shared.image_cache.lock().unwrap();
@@ -1716,6 +2023,194 @@ mod tests {
         assert_eq!(stats.submitted, 1);
         assert_eq!(stats.cancelled, 1);
         assert_eq!(stats.completed, 0);
+        assert!(stats.reconciles());
+    }
+
+    #[test]
+    fn coalesced_followers_share_one_decode() {
+        let filler = stream(50);
+        let hot = stream(51);
+        let svc = service(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        // Park the only worker on a filler stream; the hot leader then
+        // sits in the queue, so followers deterministically attach.
+        let gate = Arc::new(Gate::default());
+        let _guard = AutoOpen(Arc::clone(&gate));
+        let parked = submit_hooked(
+            &svc,
+            &filler,
+            Request::strict(),
+            None,
+            Some(Arc::clone(&gate)),
+        )
+        .unwrap();
+        gate.await_arrival();
+        let leader = svc.submit(&hot[..], Request::strict()).unwrap();
+        let followers: Vec<Ticket> = (0..3)
+            .map(|_| svc.submit(&hot[..], Request::strict()).unwrap())
+            .collect();
+        gate.open();
+        parked.wait().unwrap();
+        let led = leader.wait().unwrap();
+        assert_eq!(led.served_from, ServedFrom::Cold);
+        assert_eq!(*led.image, decode(&hot).unwrap().image);
+        for f in followers {
+            let resp = f.wait().unwrap();
+            assert_eq!(resp.served_from, ServedFrom::Coalesced);
+            assert!(
+                Arc::ptr_eq(&resp.image, &led.image),
+                "followers share the leader's allocation, not a copy"
+            );
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.submitted, 2, "filler + one hot leader");
+        assert_eq!(stats.coalesced, 3);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.image_misses, 2, "exactly one decode per stream");
+        assert!(stats.reconciles());
+    }
+
+    #[test]
+    fn follower_deadline_expiry_never_disturbs_the_leader() {
+        let bytes = stream(52);
+        let svc = service(ServiceConfig {
+            workers: 1,
+            image_cache_bytes: 0,
+            ..ServiceConfig::default()
+        });
+        // 4 tiles × 20 ms of injected work: the follower's 5 ms
+        // deadline expires at a tile boundary mid-decode, long before
+        // the leader finishes.
+        let leader = submit_hooked(
+            &svc,
+            &bytes,
+            Request::strict(),
+            Some(Duration::from_millis(20)),
+            None,
+        )
+        .unwrap();
+        let follower = svc
+            .submit(
+                &bytes[..],
+                Request::strict().with_timeout(Duration::from_millis(5)),
+            )
+            .unwrap();
+        assert_eq!(follower.wait().unwrap_err(), ServiceError::DeadlineExceeded);
+        let led = leader.wait().unwrap();
+        assert_eq!(*led.image, decode(&bytes).unwrap().image);
+        let stats = svc.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.image_misses, 1, "the expiry never re-queued work");
+        assert!(stats.reconciles());
+    }
+
+    #[test]
+    fn cancelled_leader_promotes_the_oldest_follower() {
+        let bytes = stream(53);
+        let svc = service(ServiceConfig {
+            workers: 1,
+            image_cache_bytes: 0,
+            ..ServiceConfig::default()
+        });
+        let leader = submit_hooked(
+            &svc,
+            &bytes,
+            Request::strict(),
+            Some(Duration::from_millis(20)),
+            None,
+        )
+        .unwrap();
+        let follower = svc.submit(&bytes[..], Request::strict()).unwrap();
+        leader.cancel();
+        assert_eq!(leader.wait().unwrap_err(), ServiceError::Cancelled);
+        // The decode survives its leader: the follower inherits it and
+        // still gets the exact image — without a second decode.
+        let resp = follower.wait().unwrap();
+        assert_eq!(resp.served_from, ServedFrom::Coalesced);
+        assert_eq!(*resp.image, decode(&bytes).unwrap().image);
+        let stats = svc.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.image_misses, 1, "promotion never re-queued work");
+        assert!(stats.reconciles());
+    }
+
+    #[test]
+    fn coalesced_outcomes_mirror_into_the_metrics_registry() {
+        let filler = stream(54);
+        let hot = stream(55);
+        let reg = MetricsRegistry::new();
+        let svc = service(ServiceConfig {
+            workers: 1,
+            metrics: Some(reg.clone()),
+            ..ServiceConfig::default()
+        });
+        let gate = Arc::new(Gate::default());
+        let _guard = AutoOpen(Arc::clone(&gate));
+        let parked = submit_hooked(
+            &svc,
+            &filler,
+            Request::strict(),
+            None,
+            Some(Arc::clone(&gate)),
+        )
+        .unwrap();
+        gate.await_arrival();
+        let leader = svc.submit(&hot[..], Request::strict()).unwrap();
+        let follower = svc.submit(&hot[..], Request::strict()).unwrap();
+        gate.open();
+        parked.wait().unwrap();
+        leader.wait().unwrap();
+        follower.wait().unwrap();
+        let stats = svc.shutdown();
+        let snap = reg.snapshot();
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or_default();
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(counter("service.coalesced"), stats.coalesced);
+        assert_eq!(counter("service.submitted"), stats.submitted);
+        assert_eq!(counter("service.completed"), stats.completed);
+        assert_eq!(
+            snap.gauges.get("service.singleflight_inflight").copied(),
+            Some(0),
+            "no flight survives the drain"
+        );
+        // Every waiter — queued or coalesced — left one queue-wait
+        // sample on resolution.
+        let wait_samples = snap
+            .histograms
+            .get("service.queue_wait")
+            .map(|h| h.count())
+            .unwrap_or_default();
+        assert_eq!(wait_samples, stats.submitted + stats.coalesced);
+    }
+
+    #[test]
+    fn quality_zero_shares_the_quality_one_cache_entry() {
+        let bytes = stream(56);
+        let svc = service(small_cfg());
+        // `Quality{0}` clamps to one layer in the decoder, so it must
+        // share a cache entry (and a flight key) with `Quality{1}` —
+        // before normalization each occupied its own LRU slot.
+        let cold = svc.decode(&bytes[..], Request::quality(0)).unwrap();
+        let warm = svc.decode(&bytes[..], Request::quality(1)).unwrap();
+        assert_eq!(warm.served_from, ServedFrom::ImageCache);
+        assert_eq!(warm.image, cold.image);
+        // Header-aware clamp: any `max_res ≥ levels` decodes the full
+        // image, so two oversized thumbnail requests share one entry.
+        let th_cold = svc.decode(&bytes[..], Request::thumbnail(50)).unwrap();
+        let th_warm = svc.decode(&bytes[..], Request::thumbnail(99)).unwrap();
+        assert_eq!(th_warm.served_from, ServedFrom::ImageCache);
+        assert_eq!(th_warm.image, th_cold.image);
+        let stats = svc.shutdown();
+        assert_eq!(stats.image_hits, 2);
+        assert_eq!(stats.image_misses, 2);
         assert!(stats.reconciles());
     }
 

@@ -11,7 +11,7 @@ use jpeg2000::image::{Image, Plane};
 use jpeg2000::mq::{MqContext, MqDecoder, MqEncoder};
 use jpeg2000::parallel::decode_parallel;
 use jpeg2000::quant::{dequantize, quantize};
-use jpeg2000::service::{DecodeService, Request, ServiceConfig, ServiceError};
+use jpeg2000::service::{DecodeService, Request, ServedFrom, ServiceConfig, ServiceError};
 use jpeg2000::t1::{decode_block, encode_block};
 use jpeg2000::t2::{
     read_packet, write_packet, BandBlocks, BitReader, BitWriter, BlockContribution, TagTree,
@@ -372,6 +372,110 @@ proptest! {
                 prop_assert_eq!(&*got.image, &reference);
             }
         }
+    }
+
+    /// Single-flight coalescing is invisible to correctness under
+    /// *any* thread interleaving: identical submissions racing an
+    /// in-flight decode either attach to it (`Coalesced`) or — if the
+    /// pool drained the flight before they arrived — start their own
+    /// (`HeaderCache`, the leader parsed the header already), and in
+    /// both cases every response is bit-identical to the matching
+    /// one-shot entry point, for every request kind and more than one
+    /// pool shape, tolerant report included. Exactly one decode runs
+    /// per queued flight and the accounting stays exact. (The
+    /// deterministic attach/expire/promote semantics are pinned by the
+    /// gated unit tests in `service.rs`; this property covers the
+    /// schedules those gates exclude.)
+    #[test]
+    fn coalesced_followers_are_bit_exact_for_every_kind(
+        w in 8usize..40,
+        h in 8usize..40,
+        lossy in any::<bool>(),
+        kind_sel in 0usize..4,
+        max_layers in 1usize..4,
+        max_res in 0usize..3,
+        workers in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        const FOLLOWERS: usize = 3;
+        let mode = if lossy { Mode::lossy_default() } else { Mode::Lossless };
+        let img = Image::synthetic_rgb(w, h, seed);
+        let bytes = encode(&img, &EncodeParams::new(mode).tile_size(16, 16)).unwrap();
+        let request = match kind_sel {
+            0 => Request::strict(),
+            1 => Request::tolerant(),
+            2 => Request::quality(max_layers),
+            _ => Request::thumbnail(max_res),
+        };
+        // One-shot reference for the same kind.
+        let (ref_image, ref_report) = match kind_sel {
+            0 => (decode(&bytes).unwrap().image, None),
+            1 => {
+                let (i, r) = decode_tolerant(&bytes).unwrap();
+                (i, Some(r))
+            }
+            2 => (decode_quality(&bytes, max_layers).unwrap(), None),
+            _ => (decode_thumbnail(&bytes, max_res).unwrap(), None),
+        };
+
+        let svc = DecodeService::new(ServiceConfig {
+            workers,
+            queue_capacity: workers + 2,
+            image_cache_bytes: 0, // every flight costs a real decode
+            ..ServiceConfig::default()
+        });
+        // Distinct filler streams keep the workers busy so the
+        // followers usually catch the leader's flight in the air —
+        // but nothing below *depends* on winning that race.
+        let fillers: Vec<Vec<u8>> = (0..workers)
+            .map(|i| {
+                let fimg = Image::synthetic_rgb(96, 96, seed.wrapping_add(i as u64 + 1));
+                encode(&fimg, &EncodeParams::new(Mode::Lossless)).unwrap()
+            })
+            .collect();
+        let filler_tickets: Vec<_> = fillers
+            .iter()
+            .map(|fbytes| svc.submit(&fbytes[..], Request::strict()).unwrap())
+            .collect();
+        let leader = svc.submit(&bytes[..], request).unwrap();
+        let followers: Vec<_> = (0..FOLLOWERS)
+            .map(|_| svc.submit(&bytes[..], request).unwrap())
+            .collect();
+        for t in filler_tickets {
+            t.wait().unwrap();
+        }
+        // The leader is always the stream's first flight: cold header,
+        // image cache disabled.
+        let lead = leader.wait().unwrap();
+        prop_assert_eq!(lead.served_from, ServedFrom::Cold);
+        prop_assert_eq!(&*lead.image, &ref_image);
+        prop_assert_eq!(lead.report.as_ref(), ref_report.as_ref());
+        let mut coalesced_seen = 0u64;
+        for f in followers {
+            let resp = f.wait().unwrap();
+            match resp.served_from {
+                // Attached to an in-flight decode: shares its buffer.
+                ServedFrom::Coalesced => coalesced_seen += 1,
+                // Lost the race (the pool drained the flight first)
+                // and led its own — via the header the leader cached.
+                ServedFrom::HeaderCache => {}
+                other => prop_assert!(false, "unexpected follower path: {:?}", other),
+            }
+            prop_assert_eq!(&*resp.image, &ref_image);
+            prop_assert_eq!(resp.report.as_ref(), ref_report.as_ref());
+        }
+        let stats = svc.shutdown();
+        prop_assert!(stats.reconciles(), "{:?}", stats);
+        prop_assert_eq!(stats.coalesced, coalesced_seen);
+        let total = workers as u64 + 1 + FOLLOWERS as u64;
+        prop_assert_eq!(stats.submitted + stats.coalesced, total);
+        prop_assert_eq!(stats.completed, total);
+        prop_assert_eq!(stats.failed, 0u64);
+        prop_assert_eq!(stats.image_hits, 0u64, "image cache is disabled");
+        prop_assert_eq!(
+            stats.image_misses, stats.submitted,
+            "exactly one decode per queued flight, coalesced or not"
+        );
     }
 
     /// Worker counts far beyond the tile count are always safe: surplus

@@ -132,9 +132,9 @@ fn main() {
         "service outcomes partition submissions"
     );
     assert_eq!(
-        service_stats.submitted,
+        service_stats.submitted + service_stats.coalesced,
         server_stats.ok + server_stats.expired + server_stats.failed + server_stats.internal,
-        "one service submission per admitted network request"
+        "one service submission or coalesce per admitted network request"
     );
     println!(
         "\nserver: frames {}/{}, ok={} busy={} conn_rejected={} crc_rejects={}",

@@ -1,16 +1,19 @@
 //! The persistent decode service end to end: a pool of long-lived
 //! workers serves strict, tolerant, quality and thumbnail decodes of
-//! the Table-1 streams, demonstrating the three serving paths (cold,
-//! header-cached, image-cached), explicit backpressure (`QueueFull`),
-//! per-request deadlines, and the `service.*` metrics the pool exports
-//! into the unified registry.
+//! the Table-1 streams, demonstrating the four serving paths (cold,
+//! header-cached, image-cached, coalesced), explicit backpressure
+//! (`QueueFull`), per-request deadlines, and the `service.*` metrics
+//! the pool exports into the unified registry.
 //!
 //! Run with: `cargo run --release --example serve`
 
+use osss_jpeg2000::jpeg2000::codec::{encode, EncodeParams, Mode};
+use osss_jpeg2000::jpeg2000::image::Image;
 use osss_jpeg2000::models::workload::workload;
 use osss_jpeg2000::models::ModeSel;
 use osss_jpeg2000::sim::probe::MetricsRegistry;
 use osss_jpeg2000::{DecodeService, Request, ServedFrom, ServiceConfig, ServiceError};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
@@ -72,13 +75,21 @@ fn main() {
     println!("deadline:     1ns budget -> {doomed}");
 
     // --- Backpressure -----------------------------------------------
-    // Saturate the queue with tolerant decodes of the lossy stream,
-    // without waiting; once the queue is full, submits are refused
-    // explicitly rather than queued unboundedly.
+    // Saturate the queue with a burst of *distinct* streams, without
+    // waiting; once the queue is full, submits are refused explicitly
+    // rather than queued unboundedly. (Distinct streams matter:
+    // identical submissions would coalesce onto the in-flight decode
+    // instead of consuming queue slots — see the next section.)
+    let burst: Vec<Vec<u8>> = (0..32)
+        .map(|i| {
+            let img = Image::synthetic_rgb(48, 48, 7000 + i);
+            encode(&img, &EncodeParams::new(Mode::Lossless)).expect("burst encode")
+        })
+        .collect();
     let mut tickets = Vec::new();
     let mut refused = 0usize;
-    for _ in 0..64 {
-        match service.submit(&lossy.codestream[..], Request::tolerant()) {
+    for bytes in &burst {
+        match service.submit(&bytes[..], Request::tolerant()) {
             Ok(t) => tickets.push(t),
             Err(ServiceError::QueueFull) => refused += 1,
             Err(e) => panic!("unexpected submit error: {e}"),
@@ -88,15 +99,59 @@ fn main() {
         let resp = t.wait().expect("queued tolerant decode");
         assert!(resp.report.expect("tolerant report").failures.is_empty());
     }
-    println!("backpressure: {refused}/64 burst submissions refused with QueueFull");
+    println!("backpressure: {refused}/32 burst submissions refused with QueueFull");
+
+    // --- Single-flight coalescing ------------------------------------
+    // One worker, no image cache: while a decode of a hot stream is
+    // queued or running, identical submissions attach to it as
+    // *followers* instead of queueing duplicate work. Every follower
+    // gets the same `Arc`'d image the leader decoded, tagged
+    // `ServedFrom::Coalesced`; the stream is decoded exactly once.
+    let single = DecodeService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 4,
+        image_cache_bytes: 0,
+        ..ServiceConfig::default()
+    });
+    let filler = single
+        .submit(&lossy.codestream[..], Request::tolerant())
+        .expect("filler occupies the sole worker");
+    let leader = single
+        .submit(&lossless.codestream[..], Request::strict())
+        .expect("leader queues the hot decode");
+    let followers: Vec<_> = (0..3)
+        .map(|_| {
+            single
+                .submit(&lossless.codestream[..], Request::strict())
+                .expect("follower attaches to the in-flight decode")
+        })
+        .collect();
+    filler.wait().expect("filler decode");
+    let lead = leader.wait().expect("leader decode");
+    assert_eq!(lead.served_from, ServedFrom::Cold);
+    for f in followers {
+        let resp = f.wait().expect("follower rides the leader's decode");
+        assert_eq!(resp.served_from, ServedFrom::Coalesced);
+        assert!(
+            Arc::ptr_eq(&resp.image, &lead.image),
+            "followers share the leader's buffer, not a copy"
+        );
+    }
+    let sf = single.shutdown();
+    println!(
+        "coalescing:   4 identical submissions -> {} decode, coalesced={}",
+        sf.image_misses - 1, // minus the filler's decode
+        sf.coalesced,
+    );
 
     // --- Accounting and metrics -------------------------------------
     let stats = service.shutdown();
     assert!(stats.reconciles(), "outcomes partition submissions");
     println!(
-        "\nstats: submitted={} completed={} expired={} rejected={} \
+        "\nstats: submitted={} coalesced={} completed={} expired={} rejected={} \
          header hit/miss={}/{} image hit/miss={}/{} evictions={}",
         stats.submitted,
+        stats.coalesced,
         stats.completed,
         stats.expired,
         stats.rejected,

@@ -33,7 +33,7 @@ use osss_jpeg2000::models::ModeSel;
 use osss_jpeg2000::sim::probe::MetricsRegistry;
 use osss_jpeg2000::{
     ChaosConfig, ChaosProxy, ChaosProxyStats, CircuitBreaker, Client, DecodeServer, DecodeService,
-    NetError, NetRetryPolicy, Request, ServerConfig, ServerStats, ServiceConfig,
+    NetError, NetRetryPolicy, Request, ServerConfig, ServerStats, ServiceConfig, ServiceStats,
 };
 
 const CLIENTS: usize = 3;
@@ -74,6 +74,7 @@ struct Outcomes {
 struct SoakReport {
     outcomes: Outcomes,
     server: ServerStats,
+    service: ServiceStats,
     proxy: ChaosProxyStats,
 }
 
@@ -202,8 +203,10 @@ fn soak(config: ChaosConfig, iters: usize, seed: u64) -> SoakReport {
     // Invariant 2: accounting holds under fire.
     assert!(server_stats.reconciles(), "server: {server_stats:?}");
     assert!(svc.reconciles(), "service: {svc:?}");
+    // Every server-resolved request was either its own service
+    // submission or coalesced onto an identical in-flight one.
     assert_eq!(
-        svc.submitted,
+        svc.submitted + svc.coalesced,
         server_stats.ok + server_stats.expired + server_stats.failed + server_stats.internal,
         "cross-family identity: service {svc:?} vs server {server_stats:?}"
     );
@@ -221,6 +224,7 @@ fn soak(config: ChaosConfig, iters: usize, seed: u64) -> SoakReport {
         ("server.conn_capped", server_stats.conn_capped),
         ("server.admission_rejected", server_stats.admission_rejected),
         ("service.submitted", svc.submitted),
+        ("service.coalesced", svc.coalesced),
         ("service.completed", svc.completed),
     ] {
         assert_eq!(counter(name), value, "{name} mirror drifted");
@@ -258,6 +262,7 @@ fn soak(config: ChaosConfig, iters: usize, seed: u64) -> SoakReport {
     SoakReport {
         outcomes,
         server: server_stats,
+        service: svc,
         proxy: proxy_stats,
     }
 }
@@ -321,9 +326,23 @@ fn soak_lossy_profile_never_hangs_or_corrupts() {
         "the schedule actually fragmented: {:?}",
         report.proxy
     );
+    // Single-flight accounting holds under the lossy profile too: the
+    // coalesced term partitions into outcomes like every submission
+    // (the soak already asserted `reconciles()`), and a degraded link
+    // never inflates decode work past the accepted flights.
+    let svc = report.service;
+    assert_eq!(
+        svc.submitted + svc.coalesced,
+        svc.completed + svc.expired + svc.cancelled + svc.failed,
+        "coalesced accounting under loss: {svc:?}"
+    );
+    assert!(
+        svc.image_misses <= svc.submitted,
+        "no flight decodes twice under loss: {svc:?}"
+    );
     eprintln!(
-        "chaos soak [lossy]   seed={seed:#x} iters={iters}: {:?} | proxy {:?}",
-        report.outcomes, report.proxy
+        "chaos soak [lossy]   seed={seed:#x} iters={iters}: {:?} | coalesced={} | proxy {:?}",
+        report.outcomes, svc.coalesced, report.proxy
     );
 }
 

@@ -213,13 +213,15 @@ fn server_and_service_metrics_reconcile_exactly() {
     }
 
     // Cross-family: every admitted network request is exactly one
-    // service submission, and the service saw no other traffic.
+    // service submission (queued or coalesced onto an identical
+    // in-flight one), and the service saw no other traffic.
     assert!(svc.reconciles(), "{svc:?}");
     assert_eq!(
-        svc.submitted,
+        svc.submitted + svc.coalesced,
         stats.ok + stats.expired + stats.failed + stats.internal
     );
     assert_eq!(counter("service.submitted"), svc.submitted);
+    assert_eq!(counter("service.coalesced"), svc.coalesced);
     assert_eq!(counter("service.completed"), svc.completed);
     assert_eq!(counter("service.expired"), svc.expired);
 

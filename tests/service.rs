@@ -13,6 +13,8 @@
 //! Knobs (environment, same pattern as `FUZZ_ITERS`):
 //! * `SERVICE_STRESS_ITERS` — requests per client thread (default 40).
 //! * `SERVICE_STRESS_SEED` — master RNG seed (default fixed).
+//! * `STAMPEDE_ITERS` — stampede requests per client (default 30).
+//! * `STAMPEDE_SEED` — stampede RNG seed (default fixed).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -133,15 +135,19 @@ fn stress_no_request_is_silently_dropped() {
     let rejected_seen = rejected.load(Ordering::Relaxed);
     let resolved = resolved.load(Ordering::Relaxed);
 
-    // Client-side and service-side accounting must agree exactly.
+    // Client-side and service-side accounting must agree exactly. An
+    // accepted attempt either queued its own job (`submitted`) or
+    // attached to an identical in-flight one (`coalesced`) — the
+    // client cannot tell which, so only their sum is observable.
     assert_eq!(stats.rejected, rejected_seen, "rejection accounting");
     assert_eq!(
-        stats.submitted,
+        stats.submitted + stats.coalesced,
         attempts - rejected_seen,
         "admission accounting"
     );
     assert_eq!(
-        stats.submitted, resolved,
+        stats.submitted + stats.coalesced,
+        resolved,
         "every accepted submission resolved"
     );
     assert!(
@@ -149,8 +155,120 @@ fn stress_no_request_is_silently_dropped() {
         "outcomes must partition submissions exactly: {stats:?}"
     );
     assert_eq!(
-        stats.submitted,
+        stats.submitted + stats.coalesced,
         stats.completed + stats.expired + stats.cancelled + stats.failed,
     );
     assert_eq!(stats.failed, 0, "well-formed streams never fail to decode");
+}
+
+/// Single-flight stampede stress: every client hammers **one** hot
+/// stream through a single worker with the image cache disabled, so
+/// almost every submission lands while an identical decode is in
+/// flight. The seeded mix exercises the whole coalescing state
+/// machine — followers expiring mid-flight, leaders cancelling with
+/// followers attached (promotion), plain pile-ons — and the contract
+/// is exact reconciliation: nothing hangs, nothing double-decodes,
+/// nothing resolves twice.
+#[test]
+fn stampede_on_one_hot_stream_reconciles_exactly() {
+    const STAMPEDE_CLIENTS: usize = 6;
+    let iters = env_u64("STAMPEDE_ITERS", 30) as usize;
+    let master_seed = env_u64("STAMPEDE_SEED", 0x5354_414D_5045_4445); // "STAMPEDE"
+
+    let img = Image::synthetic_rgb(64, 64, 9100);
+    let bytes = encode(&img, &EncodeParams::new(Mode::Lossless).tile_size(32, 32)).unwrap();
+    let reference = decode(&bytes).unwrap().image;
+
+    let svc = DecodeService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        header_cache_bytes: bytes.len(),
+        // No image cache: every flight costs a real decode, so the
+        // only thing standing between the hot stream and N duplicate
+        // decodes is coalescing itself.
+        image_cache_bytes: 0,
+        metrics: None,
+    });
+
+    let attempts = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let resolved = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for client in 0..STAMPEDE_CLIENTS {
+            let svc = &svc;
+            let (bytes, reference) = (&bytes, &reference);
+            let (attempts, rejected, resolved) = (&attempts, &rejected, &resolved);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(
+                    master_seed ^ (client as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                );
+                for _ in 0..iters {
+                    let mut request = Request::strict();
+                    if rng.gen_bool(0.25) {
+                        // Tight deadlines expire followers (and
+                        // leaders) at tile boundaries mid-flight.
+                        let us = if rng.gen_bool(0.5) { 50 } else { 100_000 };
+                        request = request.with_timeout(Duration::from_micros(us));
+                    }
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    let ticket = match svc.submit(&bytes[..], request) {
+                        Ok(t) => t,
+                        Err(ServiceError::QueueFull) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    };
+                    if rng.gen_bool(0.2) {
+                        // Cancelling the leader while followers are
+                        // attached must promote, not kill the flight.
+                        ticket.cancel();
+                    }
+                    match ticket.wait() {
+                        Ok(resp) => {
+                            assert_eq!(&*resp.image, reference, "stampede response bit-drift");
+                        }
+                        Err(ServiceError::DeadlineExceeded | ServiceError::Cancelled) => {}
+                        Err(e) => panic!("unexpected outcome: {e}"),
+                    }
+                    resolved.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let stats = svc.shutdown();
+    let attempts = attempts.load(Ordering::Relaxed);
+    let rejected_seen = rejected.load(Ordering::Relaxed);
+    let resolved = resolved.load(Ordering::Relaxed);
+
+    assert_eq!(stats.rejected, rejected_seen, "rejection accounting");
+    assert_eq!(
+        stats.submitted + stats.coalesced,
+        attempts - rejected_seen,
+        "admission accounting"
+    );
+    assert_eq!(
+        stats.submitted + stats.coalesced,
+        resolved,
+        "every accepted submission resolved"
+    );
+    assert!(stats.reconciles(), "stampede must reconcile: {stats:?}");
+    assert_eq!(stats.failed, 0, "a well-formed stream never fails");
+    assert!(
+        stats.coalesced > 0,
+        "six clients × one hot stream × one worker must coalesce: {stats:?}"
+    );
+    // The decode count (image-cache misses, cache disabled) is what
+    // coalescing bounds: it can never exceed the number of queued
+    // jobs, which coalescing keeps far below the attempt count.
+    assert_eq!(
+        stats.image_hits, 0,
+        "image cache is disabled in this config"
+    );
+    assert!(
+        stats.image_misses <= stats.submitted,
+        "no flight decodes twice: {stats:?}"
+    );
 }
